@@ -1,0 +1,15 @@
+"""Benchmark: the §V-B convergence comparison (gate/hybrid/pulse)."""
+
+from conftest import run_once
+
+from repro.experiments import convergence
+
+
+def test_convergence(benchmark, quick_config):
+    result = run_once(benchmark, convergence.run, quick_config)
+    print()
+    print(convergence.render(result))
+    assert set(result.best_ar) == {"gate", "hybrid", "pulse"}
+    for series in result.best_so_far.values():
+        # best-so-far is monotone
+        assert all(b >= a for a, b in zip(series, series[1:]))

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 4 (benchmark graphs and optima)."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, quick_config):
+    result = run_once(benchmark, fig4.run, quick_config)
+    print()
+    print(fig4.render(result))
+    for task, row in result.items():
+        assert row["max_cut"] == row["paper_max_cut"]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 5 (pulse vs hybrid + duration reduction)."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, quick_config):
+    result = run_once(benchmark, fig5.run, quick_config)
+    print()
+    print(fig5.render(result))
+    assert result.hybrid_duration == 320
+    assert result.hybrid_po_duration % 32 == 0
+    assert result.hybrid_po_duration < result.hybrid_duration
+    assert 0.0 <= result.pulse_ar <= 1.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 6 (optimized gate vs hybrid, tasks 1-3)."""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, quick_config):
+    result = run_once(benchmark, fig6.run, quick_config)
+    print()
+    print(fig6.render(result))
+    assert len(result.ars) == 12  # 2 backends x 3 tasks x 2 models
+    for key, ar in result.ars.items():
+        assert 0.0 <= ar <= 1.0, key

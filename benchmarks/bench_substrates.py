@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the substrates the experiments stand on.
+
+These time the hot paths of the library: statevector simulation, noisy
+density-matrix execution, SABRE transpilation, pulse propagators and M3
+mitigation.  Unlike the per-figure benches, they use pytest-benchmark's
+normal multi-round timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import FakeToronto
+from repro.mitigation import M3Mitigator
+from repro.noise import ReadoutError
+from repro.problems import MaxCutProblem, three_regular_6
+from repro.pulse import DriveChannel, Gaussian, GaussianSquare, Play, Schedule
+from repro.pulsesim import cr_pair_propagator, drive_channel_propagator
+from repro.simulators import simulate_statevector
+from repro.transpiler import transpile
+from repro.vqa import qaoa_ansatz
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return FakeToronto()
+
+
+@pytest.fixture(scope="module")
+def bound_qaoa():
+    circuit, gammas, betas = qaoa_ansatz(three_regular_6(), p=1)
+    return circuit.assign_parameters({gammas[0]: 0.7, betas[0]: 0.35})
+
+
+def test_statevector_qaoa_6q(benchmark, bound_qaoa):
+    circuit = bound_qaoa.remove_final_measurements()
+    state = benchmark(simulate_statevector, circuit)
+    assert np.isclose(state.norm, 1.0)
+
+
+def test_noisy_execution_6q(benchmark, backend, bound_qaoa):
+    routed = transpile(
+        bound_qaoa,
+        backend.coupling,
+        initial_layout=[0, 1, 4, 7, 10, 12],
+        seed=3,
+    )
+
+    def run():
+        return backend.run(routed, shots=1024, seed=5).get_counts()
+
+    counts = benchmark(run)
+    assert sum(counts.values()) == 1024
+
+
+def test_sabre_transpile(benchmark, backend, bound_qaoa):
+    routed = benchmark(
+        transpile, bound_qaoa, backend.coupling, 2, seed=1
+    )
+    assert routed.num_qubits == 27
+
+
+def test_drive_pulse_propagator(benchmark, backend):
+    schedule = Schedule(
+        (0, Play(Gaussian(320, 0.4, 80), DriveChannel(0)))
+    )
+    timeline = schedule.channel_timeline(DriveChannel(0))
+    unitary = benchmark(
+        drive_channel_propagator, timeline, backend.device, 0
+    )
+    assert unitary.shape == (2, 2)
+
+
+def test_cr_pulse_propagator(benchmark, backend):
+    device = backend.device
+    control, target = device.coupled_pairs()[0]
+    samples = GaussianSquare(640, 0.9, 32, width=512).samples()
+    unitary = benchmark(
+        cr_pair_propagator, samples, device, control, target
+    )
+    assert unitary.shape == (4, 4)
+
+
+def test_m3_mitigation_6q(benchmark):
+    readout = ReadoutError.uniform(6, 0.03)
+    rng = np.random.default_rng(0)
+    keys = {format(int(i), "06b") for i in rng.integers(0, 64, 40)}
+    counts = {k: int(rng.integers(1, 200)) for k in keys}
+    mitigator = M3Mitigator(readout)
+    quasi = benchmark(mitigator.apply, counts)
+    assert abs(sum(quasi.values()) - 1.0) < 0.2
+
+
+def test_maxcut_expectation(benchmark):
+    problem = MaxCutProblem(three_regular_6())
+    rng = np.random.default_rng(1)
+    counts = {
+        format(int(i), "06b"): int(c)
+        for i, c in zip(rng.integers(0, 64, 50), rng.integers(1, 100, 50))
+    }
+    value = benchmark(problem.expected_cut, counts)
+    assert 0 <= value <= 9

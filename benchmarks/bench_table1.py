@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table I (backend calibration data)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, quick_config):
+    result = run_once(benchmark, table1.run, quick_config)
+    print()
+    print(table1.render(result))
+    assert table1.verify(result) == []

@@ -1,0 +1,63 @@
+"""Step III demo: M3 measurement mitigation and CVaR aggregation.
+
+Runs a fixed QAOA circuit on the simulated ibmq_toronto (worst readout of
+the four paper backends), then shows how each Step-III technique moves
+the measured approximation ratio: raw expectation, M3-mitigated
+expectation, CVaR(0.3), and M3 + CVaR.  Runtime: ~10 s.
+
+Run:  python examples/error_mitigation_pipeline.py
+"""
+
+from repro.backends import FakeToronto
+from repro.core import ExecutionPipeline, GateLevelModel
+from repro.mitigation import M3Mitigator
+from repro.problems import MaxCutProblem, three_regular_6
+from repro.vqa import ExpectedCutCost
+
+
+def main() -> None:
+    backend = FakeToronto()
+    problem = MaxCutProblem(three_regular_6())
+    model = GateLevelModel(problem)
+    circuit = model.build_circuit([0.7, 0.6])
+
+    pipeline = ExecutionPipeline(
+        backend=backend, cost=ExpectedCutCost(problem), shots=4096
+    )
+    experiment = pipeline.execute(circuit, seed=11)
+    counts = experiment.counts
+    maximum = problem.maximum_cut()
+    print(f"circuit duration: {experiment.duration} dt")
+    print(f"shots: {counts.shots}\n")
+
+    raw_ar = problem.expected_cut(counts) / maximum
+    print(f"raw expectation          AR = {raw_ar:.3f}")
+
+    clbit_map = experiment.metadata["clbit_to_qubit"]
+    physical = [clbit_map[c] for c in sorted(clbit_map)]
+    mitigator = M3Mitigator.from_backend(backend, physical)
+    quasi = mitigator.apply(counts)
+    mitigated = quasi.nearest_probability_distribution()
+    m3_ar = problem.expected_cut(mitigated) / maximum
+    print(f"M3-mitigated expectation AR = {m3_ar:.3f}")
+
+    cvar_ar = problem.cvar_cut(counts, alpha=0.3) / maximum
+    print(f"CVaR(0.3) on raw counts  AR = {cvar_ar:.3f}")
+
+    both_ar = problem.cvar_cut(mitigated, alpha=0.3) / maximum
+    print(f"M3 + CVaR(0.3)           AR = {both_ar:.3f}")
+
+    print(
+        "\nM3 inverts the per-qubit readout confusion on the observed-"
+        "\nbitstring subspace (matrix-free GMRES); CVaR scores only the"
+        "\nbest 30% of shots, the objective behind the paper's CVaR rows."
+    )
+    negative = sum(1 for v in quasi.values() if v < 0)
+    print(
+        f"\nM3 subspace size: {len(quasi)} bitstrings "
+        f"({negative} quasi-probabilities below zero before projection)"
+    )
+
+
+if __name__ == "__main__":
+    main()

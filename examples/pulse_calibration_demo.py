@@ -1,0 +1,83 @@
+"""Pulse-calibration walkthrough on the transmon device model.
+
+Shows the substrate the hybrid model stands on: Rabi calibration of the
+X / SX pulses (with AC-Stark compensation), echoed cross-resonance
+calibration, a CX built from pulses, and the pulse-efficient scaled-CR
+RZX used to lower RZZ directly.  Runtime: ~30 s.
+
+Run:  python examples/pulse_calibration_demo.py
+"""
+
+import math
+
+from repro.circuits import standard_gate
+from repro.hamiltonian import DeviceModel, TransmonQubit
+from repro.pulsesim import (
+    calibrate_cr,
+    calibrate_sx,
+    calibrate_x,
+    cx_unitary_from_cr,
+)
+from repro.utils.linalg import process_fidelity
+
+
+def main() -> None:
+    device = DeviceModel(
+        [
+            TransmonQubit(frequency=5.00),
+            TransmonQubit(frequency=5.08),
+        ],
+        couplings=[(0, 1, 0.005)],
+    )
+    print(f"device: {device}")
+    print(f"dt = {device.dt:.4f} ns\n")
+
+    x_cal = calibrate_x(device, 0)
+    print(
+        f"X pulse  : duration {x_cal.duration} dt, amp {x_cal.amp:.4f}, "
+        f"Stark compensation {1e3 * x_cal.freq_compensation:+.3f} MHz, "
+        f"fidelity {x_cal.fidelity:.6f}"
+    )
+    sx_cal = calibrate_sx(device, 0)
+    print(
+        f"SX pulse : duration {sx_cal.duration} dt, amp {sx_cal.amp:.4f}, "
+        f"fidelity {sx_cal.fidelity:.6f}"
+    )
+
+    print("\ncalibrating echoed cross-resonance (this solves for the")
+    print("flat-top width whose echo realises RZX(pi/2))...")
+    cr_cal = calibrate_cr(device, 0, 1, amp=0.9, x_calibration=x_cal)
+    print(
+        f"CR pulse : flat-top width {cr_cal.width_pi_2:.1f} dt per half, "
+        f"sigma {cr_cal.sigma:.0f} dt, risefall {cr_cal.risefall} dt"
+    )
+    print(
+        f"           echo total "
+        f"{cr_cal.total_duration(cr_cal.width_pi_2)} dt "
+        f"({cr_cal.total_duration(cr_cal.width_pi_2) * device.dt:.0f} ns)"
+    )
+
+    unitary, duration, fidelity = cx_unitary_from_cr(device, cr_cal)
+    print(
+        f"\nCX from pulses: duration {duration} dt "
+        f"({duration * device.dt:.0f} ns), fidelity vs ideal CX "
+        f"{fidelity:.4f}"
+    )
+
+    print("\npulse-efficient RZX(theta) by width rescaling:")
+    print(f"{'theta':>8} | {'duration (dt)':>13} | {'fidelity':>8}")
+    for theta in (0.3, 0.8, 1.2, math.pi / 2):
+        scaled, dur = cr_cal.scaled_unitary(device, theta)
+        target = standard_gate("rzx", [theta]).matrix()
+        fid = process_fidelity(scaled, target)
+        print(f"{theta:8.3f} | {dur:13d} | {fid:8.4f}")
+    cx_pair = 2 * duration
+    print(
+        f"\n(an RZZ via two CX gates would cost ~{cx_pair} dt regardless "
+        f"of the angle — the pulse-efficient saving the paper's Step I "
+        f"exploits)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on environments with wheel) perform a legacy editable
+install.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""repro — Hybrid gate-pulse model for variational quantum algorithms.
+
+A from-scratch reproduction of Liang et al., "Hybrid Gate-Pulse Model for
+Variational Quantum Algorithms" (DAC 2023), including the gate-level and
+pulse-level substrates it depends on.
+
+The most commonly used names are re-exported here; see DESIGN.md for the
+full subsystem map.
+"""
+
+from repro.circuits import Parameter, ParameterExpression, QuantumCircuit
+from repro.simulators import (
+    DensityMatrix,
+    Statevector,
+    circuit_to_unitary,
+    simulate_statevector,
+)
+from repro.noise import NoiseModel, ReadoutError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Parameter",
+    "ParameterExpression",
+    "QuantumCircuit",
+    "DensityMatrix",
+    "Statevector",
+    "circuit_to_unitary",
+    "simulate_statevector",
+    "NoiseModel",
+    "ReadoutError",
+    "__version__",
+]

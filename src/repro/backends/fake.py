@@ -1,0 +1,223 @@
+"""Fake backends mimicking the paper's four IBM machines (Table I).
+
+Calibration numbers are verbatim from the paper; the T1/T2 column is
+interpreted as microseconds (see DESIGN.md).  Quantities the paper does
+not report (CX durations, coupling topologies, coherent-error magnitudes)
+use standard values for the corresponding IBM Falcon processors and are
+documented here as reproduction assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backends.backend import SimulatedBackend
+from repro.backends.target import QubitProperties, Target
+from repro.hamiltonian.system import DeviceModel
+from repro.noise.channels import KrausChannel, depolarizing_channel
+from repro.noise.model import NoiseModel
+from repro.noise.readout import ReadoutError
+from repro.transpiler.coupling import CouplingMap
+
+#: IBM Falcon r4 27-qubit heavy-hex connectivity
+FALCON27_EDGES = [
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21), (19, 20),
+    (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+]
+
+#: IBM Falcon r4P 16-qubit heavy-hex connectivity (ibmq_guadalupe)
+FALCON16_EDGES = [
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14),
+]
+
+
+@dataclass
+class BackendSpec:
+    """Table-I calibration row plus reproduction assumptions."""
+
+    name: str
+    num_qubits: int
+    edges: list
+    pauli_x_error: float
+    cnot_error: float
+    readout_error: float
+    t1_us: float
+    t2_us: float
+    readout_length_ns: float
+    # --- assumptions not present in Table I ---
+    cx_duration: int  # samples
+    rz_drift_per_cx: float  # coherent Z over-rotation per CX, rad/qubit
+    zz_crosstalk_khz: float  # always-on ZZ between coupled pairs
+
+
+SPECS: dict[str, BackendSpec] = {
+    "auckland": BackendSpec(
+        name="ibm_auckland",
+        num_qubits=27,
+        edges=FALCON27_EDGES,
+        pauli_x_error=2.229e-4,
+        cnot_error=1.164e-2,
+        readout_error=0.011,
+        t1_us=166.220,
+        t2_us=145.620,
+        readout_length_ns=757.333,
+        cx_duration=1560,
+        rz_drift_per_cx=0.110,
+        zz_crosstalk_khz=55.0,
+    ),
+    "toronto": BackendSpec(
+        name="ibmq_toronto",
+        num_qubits=27,
+        edges=FALCON27_EDGES,
+        pauli_x_error=2.774e-4,
+        cnot_error=9.677e-3,
+        readout_error=0.031,
+        t1_us=104.200,
+        t2_us=120.760,
+        readout_length_ns=5962.667,
+        cx_duration=1824,
+        rz_drift_per_cx=0.130,
+        zz_crosstalk_khz=65.0,
+    ),
+    "guadalupe": BackendSpec(
+        name="ibmq_guadalupe",
+        num_qubits=16,
+        edges=FALCON16_EDGES,
+        pauli_x_error=3.023e-4,
+        cnot_error=1.108e-2,
+        readout_error=0.025,
+        t1_us=102.320,
+        t2_us=102.530,
+        readout_length_ns=7111.111,
+        cx_duration=1936,
+        rz_drift_per_cx=0.120,
+        zz_crosstalk_khz=60.0,
+    ),
+    "montreal": BackendSpec(
+        name="ibmq_montreal",
+        num_qubits=27,
+        edges=FALCON27_EDGES,
+        pauli_x_error=2.780e-4,
+        cnot_error=1.049e-2,
+        readout_error=0.015,
+        t1_us=123.990,
+        t2_us=95.010,
+        readout_length_ns=5201.778,
+        cx_duration=1688,
+        rz_drift_per_cx=0.122,
+        zz_crosstalk_khz=62.0,
+    ),
+}
+
+
+def _build_backend(spec: BackendSpec) -> SimulatedBackend:
+    coupling = CouplingMap(spec.edges, spec.num_qubits)
+    t1_ns = spec.t1_us * 1000.0
+    t2_ns = min(spec.t2_us * 1000.0, 2 * t1_ns)
+    qubit_properties = [
+        QubitProperties(
+            t1=t1_ns,
+            t2=t2_ns,
+            frequency=5.0 + 0.08 * (q % 3 - 1),
+            readout_error=spec.readout_error,
+            readout_length=spec.readout_length_ns,
+        )
+        for q in range(spec.num_qubits)
+    ]
+    target = Target(
+        spec.num_qubits,
+        coupling,
+        basis_gates=("rz", "sx", "x", "cx"),
+        gate_durations={
+            "rz": 0,
+            "sx": 160,
+            "x": 160,
+            "cx": spec.cx_duration,
+            "swap": 3 * spec.cx_duration,
+            "id": 0,
+        },
+        gate_errors={
+            "x": spec.pauli_x_error,
+            "sx": spec.pauli_x_error,
+            "cx": spec.cnot_error,
+        },
+        qubit_properties=qubit_properties,
+    )
+
+    noise = NoiseModel(spec.num_qubits)
+    noise.add_depolarizing_error("x", spec.pauli_x_error, 1)
+    noise.add_depolarizing_error("sx", spec.pauli_x_error, 1)
+    noise.add_depolarizing_error("cx", spec.cnot_error, 2)
+    noise.add_depolarizing_error("swap", 3 * spec.cnot_error, 2)
+    # calibration-drift coherent phase after each CX (what the hybrid
+    # mixer's phase/frequency knobs can co-compensate)
+    drift = spec.rz_drift_per_cx
+    rz1 = np.diag(
+        [np.exp(-1j * drift / 2), np.exp(1j * drift / 2)]
+    )
+    noise.add_gate_error(
+        "cx", KrausChannel([np.kron(rz1, rz1)], name="rz_drift")
+    )
+    noise.set_relaxation(t1_ns, t2_ns, target.dt)
+    noise.set_readout_error(
+        ReadoutError.asymmetric(
+            spec.num_qubits,
+            p01=min(0.5, 1.2 * spec.readout_error),
+            p10=max(0.0, 0.8 * spec.readout_error),
+        )
+    )
+    noise.zz_crosstalk_ghz = spec.zz_crosstalk_khz * 1e-6
+    # pulse gates pay the same per-time control-error budget as their
+    # calibrated gate counterparts (x/sx over 160 dt, cx over its length)
+    noise.pulse_error_per_dt_1q = spec.pauli_x_error / 160.0
+    noise.pulse_error_per_dt_2q = spec.cnot_error / spec.cx_duration
+    # uncalibrated (optimizer-commanded) pulses reach the hardware with
+    # parameter-transfer variance (paper §IV-C); calibrated pulses are
+    # actively stabilised and exempt
+    noise.pulse_jitter_local = 0.02
+    noise.pulse_jitter_entangling = 0.16
+
+    device = DeviceModel.uniform(
+        spec.num_qubits,
+        coupling_map=spec.edges,
+        t1=t1_ns,
+        t2=t2_ns,
+    )
+    return SimulatedBackend(spec.name, target, noise, device)
+
+
+def FakeAuckland() -> SimulatedBackend:
+    """ibm_auckland: lowest readout error (M3 helps least here)."""
+    return _build_backend(SPECS["auckland"])
+
+
+def FakeToronto() -> SimulatedBackend:
+    """ibmq_toronto: lowest CNOT error, worst readout confusion."""
+    return _build_backend(SPECS["toronto"])
+
+
+def FakeGuadalupe() -> SimulatedBackend:
+    """ibmq_guadalupe: the 16-qubit Falcon."""
+    return _build_backend(SPECS["guadalupe"])
+
+
+def FakeMontreal() -> SimulatedBackend:
+    """ibmq_montreal."""
+    return _build_backend(SPECS["montreal"])
+
+
+def fake_backend_by_name(name: str) -> SimulatedBackend:
+    """Construct a fake backend from a short or full IBM name."""
+    key = name.lower().replace("ibmq_", "").replace("ibm_", "")
+    if key not in SPECS:
+        raise KeyError(
+            f"unknown backend {name!r}; choose from {sorted(SPECS)}"
+        )
+    return _build_backend(SPECS[key])

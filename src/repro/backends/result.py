@@ -1,0 +1,100 @@
+"""Execution results: counts and per-circuit metadata."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.exceptions import BackendError
+from repro.utils.bitstrings import format_counts
+
+
+class Counts(dict):
+    """Measurement counts keyed by bitstring (clbit 0 rightmost)."""
+
+    def __init__(self, data: Mapping[str, int] | None = None) -> None:
+        super().__init__(data or {})
+
+    @property
+    def shots(self) -> int:
+        return int(sum(self.values()))
+
+    def probabilities(self) -> dict[str, float]:
+        total = self.shots
+        if total == 0:
+            raise BackendError("empty counts")
+        return {key: value / total for key, value in self.items()}
+
+    def most_frequent(self) -> str:
+        if not self:
+            raise BackendError("empty counts")
+        return max(self.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+    def int_outcomes(self) -> dict[int, int]:
+        return {int(key, 2): value for key, value in self.items()}
+
+    def marginal(self, bit_positions: list[int]) -> "Counts":
+        """Counts marginalised onto the given clbit positions.
+
+        ``bit_positions[0]`` becomes the least-significant bit of the
+        output keys.
+        """
+        out: dict[str, int] = {}
+        for key, value in self.items():
+            sub = "".join(
+                key[len(key) - 1 - b] for b in reversed(bit_positions)
+            )
+            out[sub] = out.get(sub, 0) + value
+        return Counts(out)
+
+    def __repr__(self) -> str:
+        return f"Counts({format_counts(self, top=8)}, shots={self.shots})"
+
+
+class ExperimentResult:
+    """Result of one circuit execution."""
+
+    def __init__(
+        self,
+        counts: Counts,
+        duration: int,
+        metadata: dict | None = None,
+    ) -> None:
+        self.counts = counts
+        self.duration = duration  # samples
+        self.metadata = dict(metadata or {})
+
+    def __repr__(self) -> str:
+        return (
+            f"ExperimentResult(duration={self.duration} dt, "
+            f"{self.counts!r})"
+        )
+
+
+class Result:
+    """Results of a backend run over one or more circuits."""
+
+    def __init__(
+        self,
+        experiments: list[ExperimentResult],
+        backend_name: str = "",
+        shots: int = 0,
+    ) -> None:
+        self.experiments = experiments
+        self.backend_name = backend_name
+        self.shots = shots
+
+    def get_counts(self, index: int = 0) -> Counts:
+        return self.experiments[index].counts
+
+    def get_duration(self, index: int = 0) -> int:
+        """Scheduled circuit duration in samples."""
+        return self.experiments[index].duration
+
+    def __len__(self) -> int:
+        return len(self.experiments)
+
+    def __repr__(self) -> str:
+        return (
+            f"Result({self.backend_name!r}, {len(self.experiments)} "
+            f"experiments, shots={self.shots})"
+        )

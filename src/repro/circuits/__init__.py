@@ -1,0 +1,33 @@
+"""Gate-level intermediate representation: parameters, gates, circuits."""
+
+from repro.circuits.parameter import Parameter, ParameterExpression
+from repro.circuits.gates import (
+    Barrier,
+    Delay,
+    Gate,
+    Instruction,
+    Measure,
+    PulseGate,
+    standard_gate,
+)
+from repro.circuits.circuit import CircuitInstruction, QuantumCircuit
+from repro.circuits.dag import DAGCircuit, DAGNode
+from repro.circuits.qasm import circuit_from_qasm, circuit_to_qasm
+
+__all__ = [
+    "Parameter",
+    "ParameterExpression",
+    "Barrier",
+    "Delay",
+    "Gate",
+    "Instruction",
+    "Measure",
+    "PulseGate",
+    "standard_gate",
+    "CircuitInstruction",
+    "QuantumCircuit",
+    "DAGCircuit",
+    "DAGNode",
+    "circuit_from_qasm",
+    "circuit_to_qasm",
+]

@@ -1,0 +1,472 @@
+"""The :class:`QuantumCircuit` container.
+
+A circuit is an ordered list of :class:`CircuitInstruction` records, each
+binding an operation to qubit indices (and classical bit indices for
+measurements).  Qubits are plain integers ``0..num_qubits-1``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.gates import (
+    Barrier,
+    Delay,
+    Gate,
+    Instruction,
+    Measure,
+    PulseGate,
+    StandardGate,
+    UnitaryGate,
+)
+from repro.circuits.parameter import Parameter, ParameterExpression
+from repro.exceptions import CircuitError, ParameterError
+
+
+@dataclass(frozen=True)
+class CircuitInstruction:
+    """One operation applied to specific qubits / classical bits."""
+
+    operation: Instruction
+    qubits: tuple[int, ...]
+    clbits: tuple[int, ...] = ()
+
+    def __repr__(self) -> str:
+        bits = f", clbits={list(self.clbits)}" if self.clbits else ""
+        return f"{self.operation!r} @ {list(self.qubits)}{bits}"
+
+
+class QuantumCircuit:
+    """An ordered gate-level program on ``num_qubits`` qubits.
+
+    Examples
+    --------
+    >>> qc = QuantumCircuit(2)
+    >>> qc.h(0)
+    >>> qc.cx(0, 1)
+    >>> qc.measure_all()
+    >>> qc.depth()
+    3
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_clbits: int | None = None,
+        name: str = "circuit",
+    ) -> None:
+        if num_qubits < 0:
+            raise CircuitError("num_qubits must be non-negative")
+        self.num_qubits = int(num_qubits)
+        self.num_clbits = int(
+            num_clbits if num_clbits is not None else 0
+        )
+        self.name = name
+        self.instructions: list[CircuitInstruction] = []
+        self.global_phase: float = 0.0
+        # gate-name/qubits -> pulse schedule, mirroring Qiskit calibrations
+        self.calibrations: dict[tuple[str, tuple[int, ...]], object] = {}
+        self.metadata: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Core editing
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        operation: Instruction,
+        qubits: Sequence[int],
+        clbits: Sequence[int] = (),
+    ) -> "QuantumCircuit":
+        """Append ``operation`` on ``qubits``; returns self for chaining."""
+        qubits = tuple(int(q) for q in qubits)
+        clbits = tuple(int(c) for c in clbits)
+        if len(qubits) != operation.num_qubits:
+            raise CircuitError(
+                f"{operation.name} expects {operation.num_qubits} qubits, "
+                f"got {len(qubits)}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"duplicate qubits {qubits}")
+        for q in qubits:
+            if q < 0 or q >= self.num_qubits:
+                raise CircuitError(
+                    f"qubit {q} out of range (n={self.num_qubits})"
+                )
+        if len(clbits) != operation.num_clbits:
+            raise CircuitError(
+                f"{operation.name} expects {operation.num_clbits} clbits, "
+                f"got {len(clbits)}"
+            )
+        for c in clbits:
+            if c < 0 or c >= self.num_clbits:
+                raise CircuitError(
+                    f"clbit {c} out of range (m={self.num_clbits})"
+                )
+        self.instructions.append(
+            CircuitInstruction(operation, qubits, clbits)
+        )
+        return self
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[CircuitInstruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> CircuitInstruction:
+        return self.instructions[index]
+
+    # ------------------------------------------------------------------
+    # Standard-gate conveniences
+    # ------------------------------------------------------------------
+    def _std(self, name: str, qubits: Sequence[int], params=()) -> "QuantumCircuit":
+        return self.append(StandardGate(name, params), qubits)
+
+    def id(self, qubit: int) -> "QuantumCircuit":
+        return self._std("id", [qubit])
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        return self._std("x", [qubit])
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        return self._std("y", [qubit])
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        return self._std("z", [qubit])
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        return self._std("h", [qubit])
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        return self._std("s", [qubit])
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        return self._std("sdg", [qubit])
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        return self._std("t", [qubit])
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        return self._std("tdg", [qubit])
+
+    def sx(self, qubit: int) -> "QuantumCircuit":
+        return self._std("sx", [qubit])
+
+    def sxdg(self, qubit: int) -> "QuantumCircuit":
+        return self._std("sxdg", [qubit])
+
+    def rx(self, theta, qubit: int) -> "QuantumCircuit":
+        return self._std("rx", [qubit], [theta])
+
+    def ry(self, theta, qubit: int) -> "QuantumCircuit":
+        return self._std("ry", [qubit], [theta])
+
+    def rz(self, theta, qubit: int) -> "QuantumCircuit":
+        return self._std("rz", [qubit], [theta])
+
+    def p(self, theta, qubit: int) -> "QuantumCircuit":
+        return self._std("p", [qubit], [theta])
+
+    def u(self, theta, phi, lam, qubit: int) -> "QuantumCircuit":
+        return self._std("u", [qubit], [theta, phi, lam])
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self._std("cx", [control, target])
+
+    def cz(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self._std("cz", [qubit_a, qubit_b])
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self._std("swap", [qubit_a, qubit_b])
+
+    def ecr(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self._std("ecr", [qubit_a, qubit_b])
+
+    def rzz(self, theta, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self._std("rzz", [qubit_a, qubit_b], [theta])
+
+    def rxx(self, theta, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self._std("rxx", [qubit_a, qubit_b], [theta])
+
+    def ryy(self, theta, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self._std("ryy", [qubit_a, qubit_b], [theta])
+
+    def rzx(self, theta, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self._std("rzx", [qubit_a, qubit_b], [theta])
+
+    def crz(self, theta, control: int, target: int) -> "QuantumCircuit":
+        return self._std("crz", [control, target], [theta])
+
+    def cp(self, theta, control: int, target: int) -> "QuantumCircuit":
+        return self._std("cp", [control, target], [theta])
+
+    def unitary(
+        self, matrix: np.ndarray, qubits: Sequence[int], label: str = "unitary"
+    ) -> "QuantumCircuit":
+        return self.append(UnitaryGate(matrix, label=label), qubits)
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        targets = list(qubits) if qubits else list(range(self.num_qubits))
+        return self.append(Barrier(len(targets)), targets)
+
+    def delay(self, duration: int, qubit: int) -> "QuantumCircuit":
+        return self.append(Delay(duration), [qubit])
+
+    def measure(self, qubit: int, clbit: int) -> "QuantumCircuit":
+        return self.append(Measure(), [qubit], [clbit])
+
+    def measure_all(self) -> "QuantumCircuit":
+        """Measure every qubit into a same-index classical bit."""
+        if self.num_clbits < self.num_qubits:
+            self.num_clbits = self.num_qubits
+        self.barrier()
+        for q in range(self.num_qubits):
+            self.measure(q, q)
+        return self
+
+    def pulse_gate(
+        self,
+        schedule: object,
+        qubits: Sequence[int],
+        label: str = "pulse",
+        params: Sequence[float | ParameterExpression] = (),
+    ) -> "QuantumCircuit":
+        """Append an opaque pulse-defined gate on ``qubits``."""
+        return self.append(
+            PulseGate(schedule, len(qubits), label=label, params=params),
+            qubits,
+        )
+
+    def add_calibration(
+        self, gate_name: str, qubits: Sequence[int], schedule: object
+    ) -> None:
+        """Attach a pulse schedule implementing ``gate_name`` on ``qubits``."""
+        self.calibrations[(gate_name, tuple(qubits))] = schedule
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        """Free parameters sorted by name (ties broken by creation order)."""
+        found: set[Parameter] = set()
+        for inst in self.instructions:
+            found |= inst.operation.parameters
+        return tuple(sorted(found, key=lambda p: (p.name, id(p))))
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.parameters)
+
+    def assign_parameters(
+        self,
+        values: Mapping[Parameter, float] | Sequence[float],
+        inplace: bool = False,
+    ) -> "QuantumCircuit":
+        """Bind parameter values.
+
+        ``values`` is either a mapping from :class:`Parameter` to float or a
+        sequence matching :attr:`parameters` order.
+        """
+        if not isinstance(values, Mapping):
+            params = self.parameters
+            values = list(values)
+            if len(values) != len(params):
+                raise ParameterError(
+                    f"expected {len(params)} values, got {len(values)}"
+                )
+            values = dict(zip(params, values))
+        target = self if inplace else self.copy()
+        new_instructions = []
+        for inst in target.instructions:
+            if inst.operation.parameters & set(values):
+                new_instructions.append(
+                    CircuitInstruction(
+                        inst.operation.bind(values), inst.qubits, inst.clbits
+                    )
+                )
+            else:
+                new_instructions.append(inst)
+        target.instructions = new_instructions
+        return target
+
+    def bind_parameters(
+        self, values: Mapping[Parameter, float] | Sequence[float]
+    ) -> "QuantumCircuit":
+        """Alias of :meth:`assign_parameters` returning a new circuit."""
+        return self.assign_parameters(values, inplace=False)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Number of non-barrier operations."""
+        return sum(
+            1
+            for inst in self.instructions
+            if not isinstance(inst.operation, Barrier)
+        )
+
+    def depth(self) -> int:
+        """Circuit depth counting gates and measurements (barriers free)."""
+        level: dict[int, int] = {}
+        clevel: dict[int, int] = {}
+        depth = 0
+        for inst in self.instructions:
+            if isinstance(inst.operation, Barrier):
+                continue
+            start = 0
+            for q in inst.qubits:
+                start = max(start, level.get(q, 0))
+            for c in inst.clbits:
+                start = max(start, clevel.get(c, 0))
+            start += 1
+            for q in inst.qubits:
+                level[q] = start
+            for c in inst.clbits:
+                clevel[c] = start
+            depth = max(depth, start)
+        return depth
+
+    def count_ops(self) -> dict[str, int]:
+        """Histogram of operation names."""
+        out: dict[str, int] = {}
+        for inst in self.instructions:
+            out[inst.operation.name] = out.get(inst.operation.name, 0) + 1
+        return dict(sorted(out.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def num_two_qubit_gates(self) -> int:
+        """Number of 2-qubit gates (barriers and measures excluded)."""
+        return sum(
+            1
+            for inst in self.instructions
+            if isinstance(inst.operation, Gate)
+            and inst.operation.num_qubits == 2
+        )
+
+    def has_measurements(self) -> bool:
+        return any(
+            isinstance(inst.operation, Measure) for inst in self.instructions
+        )
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def copy(self) -> "QuantumCircuit":
+        """Deep-enough copy: instruction records are immutable."""
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, self.name)
+        out.instructions = list(self.instructions)
+        out.global_phase = self.global_phase
+        out.calibrations = dict(self.calibrations)
+        out.metadata = dict(self.metadata)
+        return out
+
+    def compose(
+        self,
+        other: "QuantumCircuit",
+        qubits: Sequence[int] | None = None,
+        clbits: Sequence[int] | None = None,
+    ) -> "QuantumCircuit":
+        """Return a new circuit with ``other`` appended.
+
+        ``qubits`` maps other's qubit i to ``qubits[i]`` of self.
+        """
+        if qubits is None:
+            if other.num_qubits > self.num_qubits:
+                raise CircuitError("composed circuit has more qubits")
+            qubits = list(range(other.num_qubits))
+        if len(qubits) != other.num_qubits:
+            raise CircuitError("qubit map length mismatch")
+        if clbits is None:
+            clbits = list(range(other.num_clbits))
+        out = self.copy()
+        if other.num_clbits and self.num_clbits < max(clbits, default=-1) + 1:
+            out.num_clbits = max(clbits) + 1
+        for inst in other.instructions:
+            out.append(
+                inst.operation,
+                [qubits[q] for q in inst.qubits],
+                [clbits[c] for c in inst.clbits],
+            )
+        out.global_phase += other.global_phase
+        out.calibrations.update(other.calibrations)
+        return out
+
+    def inverse(self) -> "QuantumCircuit":
+        """Adjoint circuit (fails on measurements)."""
+        if self.has_measurements():
+            raise CircuitError("cannot invert a circuit with measurements")
+        out = QuantumCircuit(
+            self.num_qubits, self.num_clbits, f"{self.name}_dg"
+        )
+        out.global_phase = -self.global_phase
+        for inst in reversed(self.instructions):
+            out.append(inst.operation.inverse(), inst.qubits)
+        return out
+
+    def power(self, exponent: int) -> "QuantumCircuit":
+        """Repeat the circuit ``exponent`` times (inverse for negative)."""
+        base = self.inverse() if exponent < 0 else self
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, self.name)
+        for _ in range(abs(int(exponent))):
+            out = out.compose(base)
+        return out
+
+    def remove_final_measurements(self) -> "QuantumCircuit":
+        """Copy without trailing measurement (and trailing barrier) layers."""
+        out = self.copy()
+        kept = [
+            inst
+            for inst in out.instructions
+            if not isinstance(inst.operation, Measure)
+        ]
+        while kept and isinstance(kept[-1].operation, Barrier):
+            kept.pop()
+        out.instructions = kept
+        return out
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        ops = self.count_ops()
+        return (
+            f"<QuantumCircuit {self.name!r}: {self.num_qubits} qubits, "
+            f"{len(self.instructions)} ops {ops}>"
+        )
+
+    def draw(self) -> str:
+        """Plain-text drawing, one line per qubit."""
+        lanes = {q: [f"q{q}: "] for q in range(self.num_qubits)}
+        width = max((len(lane[0]) for lane in lanes.values()), default=0)
+        for q in lanes:
+            lanes[q][0] = lanes[q][0].ljust(width)
+        for inst in self.instructions:
+            label = inst.operation.name
+            if inst.operation.params:
+                rendered = []
+                for p in inst.operation.params:
+                    if isinstance(p, float):
+                        rendered.append(f"{p:.3g}")
+                    else:
+                        rendered.append(str(p))
+                label += "(" + ",".join(rendered) + ")"
+            cells = {}
+            if len(inst.qubits) == 1:
+                cells[inst.qubits[0]] = f"[{label}]"
+            else:
+                for pos, q in enumerate(inst.qubits):
+                    cells[q] = f"[{label}:{pos}]"
+            cell_width = max(len(c) for c in cells.values()) + 1
+            for q in range(self.num_qubits):
+                if q in cells:
+                    lanes[q].append(cells[q].ljust(cell_width, "-"))
+                else:
+                    lanes[q].append("-" * cell_width)
+        return "\n".join(
+            "".join(lanes[q]) for q in range(self.num_qubits)
+        )

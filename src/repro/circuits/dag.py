@@ -1,0 +1,239 @@
+"""Directed-acyclic-graph view of a circuit for transpiler passes.
+
+Each :class:`DAGNode` wraps one circuit instruction; edges follow qubit and
+classical-bit wires.  The DAG supports the access patterns the passes need:
+topological iteration, per-wire neighbour lookup, front layers for routing,
+and node removal/substitution for cancellation passes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.circuits.circuit import CircuitInstruction, QuantumCircuit
+from repro.circuits.gates import Instruction
+from repro.exceptions import CircuitError
+
+
+class DAGNode:
+    """One operation node in the DAG."""
+
+    __slots__ = ("node_id", "operation", "qubits", "clbits", "_removed")
+
+    def __init__(
+        self,
+        node_id: int,
+        operation: Instruction,
+        qubits: tuple[int, ...],
+        clbits: tuple[int, ...],
+    ) -> None:
+        self.node_id = node_id
+        self.operation = operation
+        self.qubits = qubits
+        self.clbits = clbits
+        self._removed = False
+
+    def __repr__(self) -> str:
+        return f"DAGNode#{self.node_id}({self.operation!r} @ {list(self.qubits)})"
+
+
+class DAGCircuit:
+    """Wire-based DAG over a circuit's instructions.
+
+    The DAG is append-only plus logical removal: removed nodes stay in the
+    internal arrays but are skipped by all iteration helpers, keeping wire
+    neighbour queries O(1) amortised via per-wire doubly linked lists.
+    """
+
+    def __init__(self, num_qubits: int, num_clbits: int = 0) -> None:
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self._nodes: list[DAGNode] = []
+        # per-wire ordered node-id lists
+        self._qubit_wires: list[list[int]] = [[] for _ in range(num_qubits)]
+        self._clbit_wires: list[list[int]] = [[] for _ in range(num_clbits)]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "DAGCircuit":
+        dag = cls(circuit.num_qubits, circuit.num_clbits)
+        for inst in circuit.instructions:
+            dag.apply(inst.operation, inst.qubits, inst.clbits)
+        return dag
+
+    def to_circuit(
+        self, name: str = "circuit", num_clbits: int | None = None
+    ) -> QuantumCircuit:
+        out = QuantumCircuit(
+            self.num_qubits,
+            self.num_clbits if num_clbits is None else num_clbits,
+            name,
+        )
+        for node in self.topological_nodes():
+            out.append(node.operation, node.qubits, node.clbits)
+        return out
+
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        operation: Instruction,
+        qubits: Sequence[int],
+        clbits: Sequence[int] = (),
+    ) -> DAGNode:
+        """Append an operation at the end of its wires."""
+        node = DAGNode(
+            len(self._nodes), operation, tuple(qubits), tuple(clbits)
+        )
+        self._nodes.append(node)
+        for q in node.qubits:
+            self._qubit_wires[q].append(node.node_id)
+        for c in node.clbits:
+            self._clbit_wires[c].append(node.node_id)
+        return node
+
+    def remove(self, node: DAGNode) -> None:
+        """Logically delete ``node`` (wires reconnect around it)."""
+        if node._removed:
+            raise CircuitError(f"node {node} already removed")
+        node._removed = True
+
+    def substitute(
+        self, node: DAGNode, replacement: Sequence[CircuitInstruction]
+    ) -> None:
+        """Replace ``node`` in place with a sequence of instructions.
+
+        The replacement instructions must act on a subset of the node's
+        qubits (mapping is by absolute qubit index, already resolved by the
+        caller).  Order within the replacement is preserved at the node's
+        position on each wire.
+        """
+        if node._removed:
+            raise CircuitError(f"node {node} already removed")
+        new_nodes: list[DAGNode] = []
+        for inst in replacement:
+            fresh = DAGNode(
+                len(self._nodes),
+                inst.operation,
+                tuple(inst.qubits),
+                tuple(inst.clbits),
+            )
+            self._nodes.append(fresh)
+            new_nodes.append(fresh)
+        # splice into each wire at the old node's position
+        for q in node.qubits:
+            wire = self._qubit_wires[q]
+            pos = wire.index(node.node_id)
+            inserts = [n.node_id for n in new_nodes if q in n.qubits]
+            wire[pos:pos + 1] = inserts + [node.node_id]
+        for c in node.clbits:
+            wire = self._clbit_wires[c]
+            pos = wire.index(node.node_id)
+            inserts = [n.node_id for n in new_nodes if c in n.clbits]
+            wire[pos:pos + 1] = inserts + [node.node_id]
+        node._removed = True
+
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> DAGNode:
+        return self._nodes[node_id]
+
+    def active_nodes(self) -> list[DAGNode]:
+        """All live nodes in insertion order (not topological)."""
+        return [n for n in self._nodes if not n._removed]
+
+    def topological_nodes(self) -> Iterator[DAGNode]:
+        """Kahn topological iteration respecting every wire order."""
+        position: dict[int, int] = {}
+        pending: dict[int, int] = {}
+        wires: list[list[int]] = []
+        for wire in list(self._qubit_wires) + list(self._clbit_wires):
+            live = [nid for nid in wire if not self._nodes[nid]._removed]
+            if live:
+                wires.append(live)
+                for nid in live:
+                    pending[nid] = pending.get(nid, 0) + 1
+        cursors = [0] * len(wires)
+        ready: list[int] = []
+        satisfied: dict[int, int] = {nid: 0 for nid in pending}
+        for w, wire in enumerate(wires):
+            nid = wire[0]
+            satisfied[nid] += 1
+            if satisfied[nid] == pending[nid]:
+                ready.append(nid)
+        emitted = 0
+        total = len(pending)
+        ready.sort(reverse=True)
+        while ready:
+            nid = ready.pop()
+            yield self._nodes[nid]
+            emitted += 1
+            for w, wire in enumerate(wires):
+                if cursors[w] < len(wire) and wire[cursors[w]] == nid:
+                    cursors[w] += 1
+                    if cursors[w] < len(wire):
+                        nxt = wire[cursors[w]]
+                        satisfied[nxt] += 1
+                        if satisfied[nxt] == pending[nxt]:
+                            ready.append(nxt)
+        if emitted != total:
+            raise CircuitError("cycle detected in DAG (corrupt wires)")
+
+    # ------------------------------------------------------------------
+    def wire_nodes(self, qubit: int) -> list[DAGNode]:
+        """Live nodes on a qubit wire, in order."""
+        return [
+            self._nodes[nid]
+            for nid in self._qubit_wires[qubit]
+            if not self._nodes[nid]._removed
+        ]
+
+    def next_on_wire(self, node: DAGNode, qubit: int) -> DAGNode | None:
+        """The live node after ``node`` on ``qubit``'s wire."""
+        wire = self._qubit_wires[qubit]
+        idx = wire.index(node.node_id)
+        for nid in wire[idx + 1:]:
+            if not self._nodes[nid]._removed:
+                return self._nodes[nid]
+        return None
+
+    def prev_on_wire(self, node: DAGNode, qubit: int) -> DAGNode | None:
+        """The live node before ``node`` on ``qubit``'s wire."""
+        wire = self._qubit_wires[qubit]
+        idx = wire.index(node.node_id)
+        for nid in reversed(wire[:idx]):
+            if not self._nodes[nid]._removed:
+                return self._nodes[nid]
+        return None
+
+    def successors(self, node: DAGNode) -> list[DAGNode]:
+        """Distinct immediate successors across all of node's wires."""
+        out: dict[int, DAGNode] = {}
+        for q in node.qubits:
+            nxt = self.next_on_wire(node, q)
+            if nxt is not None:
+                out[nxt.node_id] = nxt
+        return list(out.values())
+
+    def predecessors(self, node: DAGNode) -> list[DAGNode]:
+        """Distinct immediate predecessors across all of node's wires."""
+        out: dict[int, DAGNode] = {}
+        for q in node.qubits:
+            prev = self.prev_on_wire(node, q)
+            if prev is not None:
+                out[prev.node_id] = prev
+        return list(out.values())
+
+    def front_layer(self) -> list[DAGNode]:
+        """Live nodes with no live predecessor on any of their wires."""
+        out = []
+        for node in self.active_nodes():
+            if all(
+                self.prev_on_wire(node, q) is None for q in node.qubits
+            ):
+                out.append(node)
+        return out
+
+    def count_ops(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for node in self.active_nodes():
+            out[node.operation.name] = out.get(node.operation.name, 0) + 1
+        return out

@@ -1,0 +1,426 @@
+"""Gate and instruction library.
+
+Matrices follow the little-endian convention: for a multi-qubit gate, the
+*first* qubit it is applied to is the least-significant bit of its matrix
+index.  ``CX(control, target)`` therefore has the standard Qiskit matrix
+``[[1,0,0,0],[0,0,0,1],[0,0,1,0],[0,1,0,0]]``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.circuits.parameter import (
+    Parameter,
+    ParameterExpression,
+    value_of,
+)
+from repro.exceptions import CircuitError, ParameterError
+
+ParamValue = "float | ParameterExpression"
+
+
+class Instruction:
+    """Base class for anything that can appear in a circuit.
+
+    Subclasses override :meth:`matrix` when they have a unitary action.
+    ``params`` may contain floats or :class:`ParameterExpression` objects.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        params: Sequence[float | ParameterExpression] = (),
+        num_clbits: int = 0,
+    ) -> None:
+        self.name = name
+        self.num_qubits = int(num_qubits)
+        self.num_clbits = int(num_clbits)
+        self.params: list[float | ParameterExpression] = [
+            p if isinstance(p, ParameterExpression) else float(p)
+            for p in params
+        ]
+
+    # -- parameter handling -------------------------------------------------
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        """Free parameters referenced by this instruction."""
+        out: set[Parameter] = set()
+        for param in self.params:
+            if isinstance(param, ParameterExpression):
+                out |= param.parameters
+        return frozenset(out)
+
+    @property
+    def is_parameterized(self) -> bool:
+        """True when at least one parameter is still symbolic."""
+        return bool(self.parameters)
+
+    def bind(self, values: Mapping[Parameter, float]) -> "Instruction":
+        """Return a copy with ``values`` substituted into the parameters."""
+        bound = self.copy()
+        new_params: list[float | ParameterExpression] = []
+        for param in self.params:
+            if isinstance(param, ParameterExpression):
+                resolved = param.bind(values)
+                new_params.append(resolved)
+            else:
+                new_params.append(param)
+        bound.params = new_params
+        return bound
+
+    def float_params(self) -> list[float]:
+        """Numeric parameter values; raises if any are unbound."""
+        return [value_of(p) for p in self.params]
+
+    # -- behaviour -----------------------------------------------------------
+    def matrix(self) -> np.ndarray:
+        """Unitary matrix of the instruction (must be fully bound)."""
+        raise CircuitError(f"instruction {self.name!r} has no matrix")
+
+    def inverse(self) -> "Instruction":
+        """Inverse instruction; default adjoints the matrix via a UnitaryGate."""
+        mat = self.matrix()
+        return UnitaryGate(mat.conj().T, label=f"{self.name}_dg")
+
+    def copy(self) -> "Instruction":
+        """Shallow copy safe for parameter rebinding."""
+        clone = object.__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone.params = list(self.params)
+        return clone
+
+    def __repr__(self) -> str:
+        if self.params:
+            args = ", ".join(
+                f"{p:.6g}" if isinstance(p, float) else repr(p)
+                for p in self.params
+            )
+            return f"{self.name}({args})"
+        return self.name
+
+
+class Gate(Instruction):
+    """A unitary instruction."""
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        params: Sequence[float | ParameterExpression] = (),
+    ) -> None:
+        super().__init__(name, num_qubits, params, num_clbits=0)
+
+    def is_self_inverse(self) -> bool:
+        """True for fixed gates that square to the identity."""
+        return self.name in _SELF_INVERSE
+
+
+class Barrier(Instruction):
+    """A compilation barrier: blocks reordering/cancellation across it."""
+
+    def __init__(self, num_qubits: int) -> None:
+        super().__init__("barrier", num_qubits)
+
+    def inverse(self) -> "Barrier":
+        return Barrier(self.num_qubits)
+
+
+class Measure(Instruction):
+    """Projective Z-basis measurement into a classical bit."""
+
+    def __init__(self) -> None:
+        super().__init__("measure", 1, num_clbits=1)
+
+
+class Delay(Instruction):
+    """Idle a qubit for ``duration`` samples of the backend clock (dt)."""
+
+    def __init__(self, duration: int) -> None:
+        if duration < 0:
+            raise CircuitError("delay duration must be non-negative")
+        super().__init__("delay", 1, params=[float(duration)])
+
+    @property
+    def duration(self) -> int:
+        return int(self.params[0])
+
+    def matrix(self) -> np.ndarray:
+        return np.eye(2, dtype=complex)
+
+    def inverse(self) -> "Delay":
+        return Delay(self.duration)
+
+
+class UnitaryGate(Gate):
+    """An opaque gate defined directly by its unitary matrix."""
+
+    def __init__(self, matrix: np.ndarray, label: str = "unitary") -> None:
+        matrix = np.asarray(matrix, dtype=complex)
+        dim = matrix.shape[0]
+        if matrix.shape != (dim, dim) or dim & (dim - 1):
+            raise CircuitError(f"bad unitary shape {matrix.shape}")
+        num_qubits = dim.bit_length() - 1
+        super().__init__(label, num_qubits)
+        self._matrix = matrix.copy()
+
+    def matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    def inverse(self) -> "UnitaryGate":
+        return UnitaryGate(self._matrix.conj().T, label=f"{self.name}_dg")
+
+
+class PulseGate(Gate):
+    """A gate whose implementation is an attached pulse schedule.
+
+    The gate-level view treats it as opaque; backends that understand pulses
+    simulate the schedule to obtain its action.  ``schedule`` may be a
+    :class:`repro.pulse.Schedule` or a parametric schedule.
+    """
+
+    def __init__(
+        self,
+        schedule: object,
+        num_qubits: int,
+        label: str = "pulse",
+        params: Sequence[float | ParameterExpression] = (),
+    ) -> None:
+        super().__init__(label, num_qubits, params)
+        self.schedule = schedule
+
+    def matrix(self) -> np.ndarray:
+        raise CircuitError(
+            "PulseGate has no static matrix; simulate its schedule"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Standard gate matrices
+# ---------------------------------------------------------------------------
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+_FIXED_MATRICES: dict[str, np.ndarray] = {
+    "id": np.eye(2, dtype=complex),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "h": np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]], dtype=complex),
+    "s": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "sdg": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "t": np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex),
+    "tdg": np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex),
+    "sx": 0.5 * np.array(
+        [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex
+    ),
+    "sxdg": 0.5 * np.array(
+        [[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]], dtype=complex
+    ),
+    # two-qubit gates; first qubit = LSB
+    "cx": np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 0, 1],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+        ],
+        dtype=complex,
+    ),
+    "cz": np.diag([1, 1, 1, -1]).astype(complex),
+    "swap": np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+        ],
+        dtype=complex,
+    ),
+    # Echoed cross-resonance gate, the IBM native entangler:
+    # ECR = 1/sqrt(2) * (IX - XY)  (Qiskit convention).
+    "ecr": _SQ2 * np.array(
+        [
+            [0, 1, 0, 1j],
+            [1, 0, -1j, 0],
+            [0, 1j, 0, 1],
+            [-1j, 0, 1, 0],
+        ],
+        dtype=complex,
+    ),
+}
+
+_INVERSE_NAME = {
+    "id": "id",
+    "x": "x",
+    "y": "y",
+    "z": "z",
+    "h": "h",
+    "s": "sdg",
+    "sdg": "s",
+    "t": "tdg",
+    "tdg": "t",
+    "sx": "sxdg",
+    "sxdg": "sx",
+    "cx": "cx",
+    "cz": "cz",
+    "swap": "swap",
+}
+
+_SELF_INVERSE = frozenset(
+    name for name, inv in _INVERSE_NAME.items() if name == inv
+)
+
+# name -> (num_qubits, num_params)
+_PARAMETRIC_SIGNATURES: dict[str, tuple[int, int]] = {
+    "rx": (1, 1),
+    "ry": (1, 1),
+    "rz": (1, 1),
+    "p": (1, 1),
+    "u": (1, 3),
+    "u3": (1, 3),
+    "rzz": (2, 1),
+    "rxx": (2, 1),
+    "ryy": (2, 1),
+    "rzx": (2, 1),
+    "crz": (2, 1),
+    "cp": (2, 1),
+}
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    return np.array(
+        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]],
+        dtype=complex,
+    )
+
+
+def _phase(theta: float) -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def _two_qubit_rotation(pauli: str, theta: float) -> np.ndarray:
+    paulis = {
+        "x": _FIXED_MATRICES["x"],
+        "y": _FIXED_MATRICES["y"],
+        "z": _FIXED_MATRICES["z"],
+    }
+    # pauli string like "zz"; first letter acts on the first (LSB) qubit.
+    op = np.kron(paulis[pauli[1]], paulis[pauli[0]])
+    eigvals, eigvecs = np.linalg.eigh(op)
+    phases = np.exp(-1j * theta / 2 * eigvals)
+    return (eigvecs * phases) @ eigvecs.conj().T
+
+
+def _parametric_matrix(name: str, params: Sequence[float]) -> np.ndarray:
+    if name == "rx":
+        return _rx(params[0])
+    if name == "ry":
+        return _ry(params[0])
+    if name == "rz":
+        return _rz(params[0])
+    if name == "p":
+        return _phase(params[0])
+    if name in ("u", "u3"):
+        return _u3(params[0], params[1], params[2])
+    if name in ("rzz", "rxx", "ryy"):
+        return _two_qubit_rotation(name[1:], params[0])
+    if name == "rzx":
+        # first qubit (LSB) carries Z, second carries X: exp(-i th/2 Z⊗X)
+        # with Z on qubit0 -> kron(X, Z) in little-endian layout.
+        op = np.kron(_FIXED_MATRICES["x"], _FIXED_MATRICES["z"])
+        eigvals, eigvecs = np.linalg.eigh(op)
+        phases = np.exp(-1j * params[0] / 2 * eigvals)
+        return (eigvecs * phases) @ eigvecs.conj().T
+    if name == "crz":
+        sub = _rz(params[0])
+        out = np.eye(4, dtype=complex)
+        out[1, 1], out[1, 3] = sub[0, 0], sub[0, 1]
+        out[3, 1], out[3, 3] = sub[1, 0], sub[1, 1]
+        return out
+    if name == "cp":
+        return np.diag([1, 1, 1, np.exp(1j * params[0])]).astype(complex)
+    raise CircuitError(f"unknown parametric gate {name!r}")
+
+
+class StandardGate(Gate):
+    """A gate from the built-in library, identified by name."""
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[float | ParameterExpression] = (),
+    ) -> None:
+        if name in _FIXED_MATRICES:
+            if params:
+                raise CircuitError(f"gate {name!r} takes no parameters")
+            num_qubits = _FIXED_MATRICES[name].shape[0].bit_length() - 1
+        elif name in _PARAMETRIC_SIGNATURES:
+            num_qubits, num_params = _PARAMETRIC_SIGNATURES[name]
+            if len(params) != num_params:
+                raise CircuitError(
+                    f"gate {name!r} takes {num_params} parameters, "
+                    f"got {len(params)}"
+                )
+        else:
+            raise CircuitError(f"unknown standard gate {name!r}")
+        super().__init__(name, num_qubits, params)
+
+    def matrix(self) -> np.ndarray:
+        if self.name in _FIXED_MATRICES:
+            return _FIXED_MATRICES[self.name].copy()
+        try:
+            values = self.float_params()
+        except ParameterError as exc:
+            raise CircuitError(
+                f"cannot build matrix of unbound gate {self!r}"
+            ) from exc
+        return _parametric_matrix(self.name, values)
+
+    def inverse(self) -> Gate:
+        if self.name in _INVERSE_NAME:
+            return StandardGate(_INVERSE_NAME[self.name])
+        if self.name == "ecr":
+            return UnitaryGate(self.matrix().conj().T, label="ecr_dg")
+        if self.name in ("u", "u3"):
+            theta, phi, lam = self.params
+            return StandardGate(self.name, [-theta, -lam, -phi])
+        # all remaining parametric gates invert by negating the angle
+        return StandardGate(self.name, [-self.params[0]])
+
+
+def standard_gate(
+    name: str, params: Sequence[float | ParameterExpression] = ()
+) -> StandardGate:
+    """Construct a library gate by name (``"h"``, ``"rzz"``...)."""
+    return StandardGate(name, params)
+
+
+def known_gate_names() -> frozenset[str]:
+    """Names recognised by :func:`standard_gate`."""
+    return frozenset(_FIXED_MATRICES) | frozenset(_PARAMETRIC_SIGNATURES)

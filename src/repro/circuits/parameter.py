@@ -1,0 +1,218 @@
+"""Symbolic circuit parameters.
+
+The library supports *linear* parameter expressions: a constant plus a
+weighted sum of named :class:`Parameter` symbols.  Linear expressions cover
+everything the paper's workloads need (e.g. the ``RZZ`` decomposition uses
+``gamma`` with integer weights, CVaR/QAOA drivers rescale angles) while
+keeping binding exact and hashable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping
+
+from repro.exceptions import ParameterError
+
+_uuid_counter = itertools.count()
+
+
+class ParameterExpression:
+    """A linear expression ``constant + sum(coeff_i * param_i)``.
+
+    Instances are immutable.  Arithmetic with floats and other expressions
+    produces new expressions; multiplying two non-constant expressions is
+    rejected (non-linear).
+    """
+
+    __slots__ = ("_coeffs", "_const")
+
+    def __init__(
+        self,
+        coeffs: Mapping["Parameter", float] | None = None,
+        const: float = 0.0,
+    ) -> None:
+        cleaned = {}
+        for param, coeff in (coeffs or {}).items():
+            if not isinstance(param, Parameter):
+                raise ParameterError(f"{param!r} is not a Parameter")
+            if coeff != 0.0:
+                cleaned[param] = float(coeff)
+        self._coeffs: dict[Parameter, float] = cleaned
+        self._const = float(const)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def parameters(self) -> frozenset["Parameter"]:
+        """The free parameters appearing in this expression."""
+        return frozenset(self._coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        """True when no free parameters remain."""
+        return not self._coeffs
+
+    @property
+    def constant_value(self) -> float:
+        """Numeric value of a constant expression."""
+        if self._coeffs:
+            raise ParameterError(
+                f"expression {self} still has free parameters"
+            )
+        return self._const
+
+    def coefficient(self, param: "Parameter") -> float:
+        """Weight of ``param`` in the expression (0.0 when absent)."""
+        return self._coeffs.get(param, 0.0)
+
+    # -- binding -----------------------------------------------------------
+    def bind(self, values: Mapping["Parameter", float]) -> "ParameterExpression | float":
+        """Substitute parameter values; returns a float when fully bound."""
+        coeffs: dict[Parameter, float] = {}
+        const = self._const
+        for param, coeff in self._coeffs.items():
+            if param in values:
+                const += coeff * float(values[param])
+            else:
+                coeffs[param] = coeff
+        if not coeffs:
+            return const
+        return ParameterExpression(coeffs, const)
+
+    # -- arithmetic ---------------------------------------------------------
+    def _as_expression(self, other: object) -> "ParameterExpression | None":
+        if isinstance(other, ParameterExpression):
+            return other
+        if isinstance(other, (int, float)):
+            return ParameterExpression({}, float(other))
+        return None
+
+    def __add__(self, other: object) -> "ParameterExpression":
+        rhs = self._as_expression(other)
+        if rhs is None:
+            return NotImplemented
+        coeffs = dict(self._coeffs)
+        for param, coeff in rhs._coeffs.items():
+            coeffs[param] = coeffs.get(param, 0.0) + coeff
+        return ParameterExpression(coeffs, self._const + rhs._const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "ParameterExpression":
+        coeffs = {p: -c for p, c in self._coeffs.items()}
+        return ParameterExpression(coeffs, -self._const)
+
+    def __sub__(self, other: object) -> "ParameterExpression":
+        rhs = self._as_expression(other)
+        if rhs is None:
+            return NotImplemented
+        return self + (-rhs)
+
+    def __rsub__(self, other: object) -> "ParameterExpression":
+        rhs = self._as_expression(other)
+        if rhs is None:
+            return NotImplemented
+        return rhs + (-self)
+
+    def __mul__(self, other: object) -> "ParameterExpression":
+        if isinstance(other, ParameterExpression):
+            if other.is_constant:
+                other = other._const
+            elif self.is_constant:
+                return other * self._const
+            else:
+                raise ParameterError(
+                    "product of two parameter expressions is non-linear"
+                )
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        factor = float(other)
+        coeffs = {p: c * factor for p, c in self._coeffs.items()}
+        return ParameterExpression(coeffs, self._const * factor)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object) -> "ParameterExpression":
+        if isinstance(other, ParameterExpression):
+            if not other.is_constant:
+                raise ParameterError("division by a free parameter")
+            other = other._const
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        if other == 0:
+            raise ZeroDivisionError("parameter expression divided by zero")
+        return self * (1.0 / float(other))
+
+    # -- equality / hashing --------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        rhs = self._as_expression(other)
+        if rhs is None:
+            return NotImplemented
+        return self._const == rhs._const and self._coeffs == rhs._coeffs
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._const, frozenset(self._coeffs.items()))
+        )
+
+    def __repr__(self) -> str:
+        terms = []
+        for param, coeff in sorted(
+            self._coeffs.items(), key=lambda kv: kv[0].name
+        ):
+            if coeff == 1.0:
+                terms.append(param.name)
+            else:
+                terms.append(f"{coeff:g}*{param.name}")
+        if self._const != 0.0 or not terms:
+            terms.append(f"{self._const:g}")
+        return " + ".join(terms)
+
+
+class Parameter(ParameterExpression):
+    """A named free parameter.
+
+    Two parameters are identical only if they are the same object (or share
+    the same internal uuid), mirroring Qiskit semantics: creating two
+    ``Parameter("x")`` objects yields *distinct* parameters.
+    """
+
+    __slots__ = ("_name", "_uuid")
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ParameterError("parameter name must be non-empty")
+        self._name = str(name)
+        self._uuid = next(_uuid_counter)
+        super().__init__({self: 1.0}, 0.0)
+
+    @property
+    def name(self) -> str:
+        """The display name of the parameter."""
+        return self._name
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Parameter):
+            return self._uuid == other._uuid
+        return super().__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("Parameter", self._uuid))
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+def value_of(
+    value: "float | int | ParameterExpression",
+    bindings: Mapping[Parameter, float] | None = None,
+) -> float:
+    """Resolve ``value`` to a float, applying ``bindings`` if needed."""
+    if isinstance(value, ParameterExpression):
+        bound = value.bind(bindings or {})
+        if isinstance(bound, ParameterExpression):
+            raise ParameterError(
+                f"unbound parameters {sorted(p.name for p in bound.parameters)}"
+            )
+        return float(bound)
+    return float(value)

@@ -1,0 +1,240 @@
+"""OpenQASM 2 import/export for the supported gate subset.
+
+The paper's motivation section describes the standard flow of compiling
+programs into ``.qasm`` files before mapping/routing; this module provides
+that interchange format.  The exporter emits standard ``qelib1.inc`` gate
+names; the importer accepts a practical subset: one or more ``qreg``/
+``creg`` declarations, standard gates with literal or ``pi``-expression
+arguments, ``barrier`` and ``measure``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Barrier, Delay, Gate, Measure, PulseGate
+from repro.exceptions import QasmError
+
+_EXPORT_NAMES = {
+    "id": "id",
+    "x": "x",
+    "y": "y",
+    "z": "z",
+    "h": "h",
+    "s": "s",
+    "sdg": "sdg",
+    "t": "t",
+    "tdg": "tdg",
+    "sx": "sx",
+    "sxdg": "sxdg",
+    "rx": "rx",
+    "ry": "ry",
+    "rz": "rz",
+    "p": "p",
+    "u": "u",
+    "u3": "u3",
+    "cx": "cx",
+    "cz": "cz",
+    "swap": "swap",
+    "rzz": "rzz",
+    "rxx": "rxx",
+    "ryy": "ryy",
+    "rzx": "rzx",
+    "crz": "crz",
+    "cp": "cp",
+    "ecr": "ecr",
+}
+
+
+def circuit_to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise ``circuit`` to an OpenQASM 2 string."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for inst in circuit.instructions:
+        op = inst.operation
+        if isinstance(op, Barrier):
+            args = ",".join(f"q[{q}]" for q in inst.qubits)
+            lines.append(f"barrier {args};")
+            continue
+        if isinstance(op, Measure):
+            lines.append(
+                f"measure q[{inst.qubits[0]}] -> c[{inst.clbits[0]}];"
+            )
+            continue
+        if isinstance(op, Delay):
+            lines.append(f"// delay({op.duration}dt) q[{inst.qubits[0]}];")
+            continue
+        if isinstance(op, PulseGate):
+            raise QasmError(
+                "pulse gates cannot be exported to OpenQASM 2; lower them "
+                "or export the gate-level part only"
+            )
+        if op.name not in _EXPORT_NAMES:
+            raise QasmError(f"gate {op.name!r} has no OpenQASM 2 name")
+        name = _EXPORT_NAMES[op.name]
+        if op.params:
+            try:
+                values = op.float_params()
+            except Exception as exc:
+                raise QasmError(
+                    f"cannot export unbound parametric gate {op!r}"
+                ) from exc
+            rendered = ",".join(_format_angle(v) for v in values)
+            name = f"{name}({rendered})"
+        args = ",".join(f"q[{q}]" for q in inst.qubits)
+        lines.append(f"{name} {args};")
+    return "\n".join(lines) + "\n"
+
+
+def _format_angle(value: float) -> str:
+    """Render an angle, using reduced pi fractions where exact."""
+    for num in range(-8, 9):
+        for den in (1, 2, 3, 4, 6, 8):
+            if num == 0 or math.gcd(abs(num), den) != 1:
+                continue
+            if math.isclose(value, num * math.pi / den, rel_tol=0, abs_tol=1e-12):
+                frac = "pi" if num == 1 else f"{num}*pi"
+                if num == -1:
+                    frac = "-pi"
+                return frac if den == 1 else f"{frac}/{den}"
+    return repr(float(value))
+
+
+_TOKEN_RE = re.compile(
+    r"^\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*"
+    r"(?:\(\s*(?P<params>[^)]*)\s*\))?\s*"
+    r"(?P<args>[^;]*);"
+)
+_REG_RE = re.compile(
+    r"^\s*(?P<kind>qreg|creg)\s+(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"\s*\[\s*(?P<size>\d+)\s*\]\s*;"
+)
+_MEASURE_RE = re.compile(
+    r"^\s*measure\s+(?P<qarg>[^;]+?)\s*->\s*(?P<carg>[^;]+?)\s*;"
+)
+_BIT_RE = re.compile(
+    r"^\s*(?P<reg>[a-zA-Z_][a-zA-Z0-9_]*)\s*(?:\[\s*(?P<index>\d+)\s*\])?\s*$"
+)
+
+_SAFE_EXPR_RE = re.compile(r"^[0-9eE\.\+\-\*/\(\)\s]*$")
+
+
+def _eval_angle(text: str) -> float:
+    """Evaluate a QASM angle expression (numbers, pi, + - * / parens)."""
+    cleaned = text.strip().replace("pi", str(math.pi))
+    if not cleaned:
+        raise QasmError("empty angle expression")
+    if not _SAFE_EXPR_RE.match(cleaned):
+        raise QasmError(f"unsupported angle expression {text!r}")
+    try:
+        return float(eval(cleaned, {"__builtins__": {}}, {}))
+    except Exception as exc:
+        raise QasmError(f"bad angle expression {text!r}") from exc
+
+
+def circuit_from_qasm(text: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2 string into a :class:`QuantumCircuit`."""
+    # strip comments
+    body = re.sub(r"//[^\n]*", "", text)
+    statements = [s.strip() for s in body.split(";")]
+    statements = [s + ";" for s in statements if s]
+
+    qregs: dict[str, tuple[int, int]] = {}  # name -> (offset, size)
+    cregs: dict[str, tuple[int, int]] = {}
+    ops: list[tuple[str, list[float], str]] = []
+    measures: list[tuple[str, str]] = []
+    order: list[tuple[str, object]] = []
+
+    for stmt in statements:
+        lowered = stmt.strip()
+        if lowered.startswith("OPENQASM") or lowered.startswith("include"):
+            continue
+        reg_match = _REG_RE.match(lowered)
+        if reg_match:
+            kind = reg_match.group("kind")
+            name = reg_match.group("name")
+            size = int(reg_match.group("size"))
+            regs = qregs if kind == "qreg" else cregs
+            offset = sum(sz for _, sz in regs.values())
+            if name in regs:
+                raise QasmError(f"duplicate register {name!r}")
+            regs[name] = (offset, size)
+            continue
+        measure_match = _MEASURE_RE.match(lowered)
+        if measure_match:
+            order.append(
+                ("measure", (measure_match.group("qarg"), measure_match.group("carg")))
+            )
+            continue
+        token = _TOKEN_RE.match(lowered)
+        if not token:
+            raise QasmError(f"cannot parse statement {stmt!r}")
+        name = token.group("name")
+        if name in ("gate", "opaque", "if", "reset"):
+            raise QasmError(f"unsupported OpenQASM construct {name!r}")
+        params_text = token.group("params")
+        params = (
+            [_eval_angle(p) for p in params_text.split(",")]
+            if params_text
+            else []
+        )
+        order.append(("op", (name, params, token.group("args"))))
+
+    num_qubits = sum(sz for _, sz in qregs.values())
+    num_clbits = sum(sz for _, sz in cregs.values())
+    circuit = QuantumCircuit(num_qubits, num_clbits, name="from_qasm")
+
+    def resolve(arg: str, regs: dict[str, tuple[int, int]]) -> list[int]:
+        match = _BIT_RE.match(arg)
+        if not match or match.group("reg") not in regs:
+            raise QasmError(f"unknown register in argument {arg!r}")
+        offset, size = regs[match.group("reg")]
+        if match.group("index") is None:
+            return [offset + i for i in range(size)]
+        index = int(match.group("index"))
+        if index >= size:
+            raise QasmError(f"index out of range in {arg!r}")
+        return [offset + index]
+
+    from repro.circuits.gates import known_gate_names, standard_gate
+
+    known = known_gate_names()
+    for kind, payload in order:
+        if kind == "measure":
+            qarg, carg = payload
+            qbits = resolve(qarg, qregs)
+            cbits = resolve(carg, cregs)
+            if len(qbits) != len(cbits):
+                raise QasmError(f"measure width mismatch {qarg!r} -> {carg!r}")
+            for q, c in zip(qbits, cbits):
+                circuit.measure(q, c)
+            continue
+        name, params, args_text = payload
+        arg_groups = [
+            resolve(a.strip(), qregs)
+            for a in args_text.split(",")
+            if a.strip()
+        ]
+        if name == "barrier":
+            flat = [q for group in arg_groups for q in group]
+            circuit.barrier(*flat)
+            continue
+        if name not in known:
+            raise QasmError(f"unknown gate {name!r}")
+        # broadcast single-bit registers over full-register arguments
+        widths = {len(g) for g in arg_groups}
+        max_width = max(widths) if widths else 0
+        if widths <= {1} or max_width == 1:
+            circuit.append(standard_gate(name, params), [g[0] for g in arg_groups])
+        else:
+            for i in range(max_width):
+                qubits = [g[i] if len(g) > 1 else g[0] for g in arg_groups]
+                circuit.append(standard_gate(name, params), qubits)
+    return circuit

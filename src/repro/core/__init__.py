@@ -1,0 +1,32 @@
+"""The paper's contribution: the hybrid gate-pulse model and workflow."""
+
+from repro.core.models import (
+    GateLevelModel,
+    HybridGatePulseModel,
+    PulseLevelModel,
+    QAOAModelBase,
+)
+from repro.core.training import (
+    ExecutionPipeline,
+    TrainResult,
+    train_model,
+)
+from repro.core.duration_search import (
+    DurationSearchResult,
+    binary_search_mixer_duration,
+)
+from repro.core.workflow import HybridWorkflow, StageResult
+
+__all__ = [
+    "GateLevelModel",
+    "HybridGatePulseModel",
+    "PulseLevelModel",
+    "QAOAModelBase",
+    "ExecutionPipeline",
+    "TrainResult",
+    "train_model",
+    "DurationSearchResult",
+    "binary_search_mixer_duration",
+    "HybridWorkflow",
+    "StageResult",
+]

@@ -1,0 +1,194 @@
+"""Machine-in-loop training of QAOA models on simulated backends.
+
+:class:`ExecutionPipeline` owns everything between "bound logical
+circuit" and "scalar cost": fixed-layout SABRE routing, optional Step-II
+gate optimization, optional Step-I pulse-efficient RZZ lowering, backend
+execution, optional M3 mitigation, and the cost function (expected cut or
+CVaR).  :func:`train_model` drives a classical optimizer over it, exactly
+like the paper's setup (COBYLA, maxiter 50, 1024 shots, fixed qubit
+mapping, CVaR coefficient 0.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backends.backend import SimulatedBackend
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.models import QAOAModelBase
+from repro.exceptions import BackendError
+from repro.mitigation.m3 import M3Mitigator
+from repro.transpiler.passes.basis import BasisTranslation
+from repro.transpiler.passes.cancellation import CommutativeCancellation
+from repro.transpiler.passes.pulse_efficient import PulseEfficientRZZ
+from repro.transpiler.passes.routing import SabreSwap
+from repro.transpiler.passmanager import TranspileContext
+from repro.utils.rng import derive_seed
+from repro.vqa.cost import CostFunction
+from repro.vqa.optimizers.base import Optimizer
+from repro.vqa.trace import ConvergenceTrace
+
+#: default fixed logical->physical line layouts on the heavy-hex fakes
+DEFAULT_LINE_LAYOUT = [0, 1, 4, 7, 10, 12, 13, 14, 16, 19]
+
+
+@dataclass
+class ExecutionPipeline:
+    """Transpile + execute + score one bound circuit."""
+
+    backend: SimulatedBackend
+    cost: CostFunction
+    layout: Sequence[int] | None = None
+    gate_optimization: bool = False
+    pulse_efficient: bool = False
+    use_m3: bool = False
+    shots: int = 1024
+    routing_seed: int = 11
+    _mitigator_cache: dict = field(default_factory=dict, repr=False)
+    _pulse_pass: PulseEfficientRZZ | None = field(default=None, repr=False)
+
+    def resolved_layout(self, num_qubits: int) -> list[int]:
+        layout = (
+            list(self.layout)
+            if self.layout is not None
+            else DEFAULT_LINE_LAYOUT
+        )
+        if len(layout) < num_qubits:
+            raise BackendError(
+                f"layout of {len(layout)} qubits cannot host "
+                f"{num_qubits}-qubit circuit"
+            )
+        return layout[:num_qubits]
+
+    # ------------------------------------------------------------------
+    def prepare(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """Route to the fixed layout, then apply the enabled passes."""
+        layout = self.resolved_layout(circuit.num_qubits)
+        context = TranspileContext()
+        routed = SabreSwap(
+            self.backend.coupling,
+            initial_layout=layout,
+            seed=self.routing_seed,
+        )(circuit, context)
+        if self.gate_optimization:
+            routed = CommutativeCancellation()(routed, context)
+        basis = {"rz", "sx", "x", "cx"}
+        if self.pulse_efficient:
+            basis.add("rzz")
+        translated = BasisTranslation(basis)(routed, context)
+        if self.gate_optimization:
+            translated = CommutativeCancellation()(translated, context)
+        if self.pulse_efficient:
+            if self._pulse_pass is None:
+                self._pulse_pass = PulseEfficientRZZ(self.backend.device)
+            translated = self._pulse_pass(translated, context)
+        translated.metadata["initial_layout"] = dict(
+            context.initial_layout or {}
+        )
+        translated.metadata["final_layout"] = dict(
+            context.final_layout or {}
+        )
+        return translated
+
+    def execute(
+        self, circuit: QuantumCircuit, seed: int | None = None
+    ):
+        """Prepare + run; returns the backend ExperimentResult."""
+        prepared = self.prepare(circuit)
+        result = self.backend.run(prepared, shots=self.shots, seed=seed)
+        return result.experiments[0]
+
+    def evaluate(
+        self, circuit: QuantumCircuit, seed: int | None = None
+    ) -> tuple[float, dict]:
+        """Full scoring path; returns (cost_value, info)."""
+        experiment = self.execute(circuit, seed=seed)
+        counts = experiment.counts
+        info = {
+            "duration": experiment.duration,
+            "raw_counts": counts,
+        }
+        if self.use_m3:
+            clbit_map = experiment.metadata["clbit_to_qubit"]
+            physical = tuple(
+                clbit_map[c] for c in sorted(clbit_map)
+            )
+            mitigator = self._mitigator_cache.get(physical)
+            if mitigator is None:
+                mitigator = M3Mitigator.from_backend(
+                    self.backend, physical
+                )
+                self._mitigator_cache[physical] = mitigator
+            quasi = mitigator.apply(counts)
+            scores = quasi.nearest_probability_distribution()
+            info["mitigated"] = scores
+            value = self.cost(scores)
+        else:
+            value = self.cost(counts)
+        return value, info
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one machine-in-loop optimisation."""
+
+    best_parameters: np.ndarray
+    best_value: float
+    trace: ConvergenceTrace
+    evaluations: int
+    circuit_duration: int
+    mixer_duration: int
+
+    @property
+    def iterations(self) -> int:
+        return len(self.trace)
+
+
+def train_model(
+    model: QAOAModelBase,
+    pipeline: ExecutionPipeline,
+    optimizer: Optimizer,
+    seed: int | None = None,
+    initial_point: Sequence[float] | None = None,
+) -> TrainResult:
+    """Optimise ``model`` through ``pipeline`` with ``optimizer``.
+
+    The objective is the negated cost (optimizers minimise); every
+    evaluation uses a fresh derived shot-noise seed so the optimizer sees
+    realistic sampling noise, as on hardware.
+    """
+    trace = ConvergenceTrace()
+    counter = {"n": 0}
+
+    def objective(values: np.ndarray) -> float:
+        counter["n"] += 1
+        circuit = model.build_circuit(values)
+        value, _info = pipeline.evaluate(
+            circuit, seed=derive_seed(seed, "eval", counter["n"])
+        )
+        trace.record(values, value)
+        return -value
+
+    if initial_point is None:
+        initial_point = model.initial_point(derive_seed(seed, "init"))
+    result = optimizer.minimize(
+        objective, initial_point, bounds=model.bounds()
+    )
+
+    best_parameters = trace.best_parameters
+    best_value = trace.best_value
+    final_circuit = model.build_circuit(best_parameters)
+    experiment = pipeline.execute(
+        final_circuit, seed=derive_seed(seed, "final")
+    )
+    return TrainResult(
+        best_parameters=np.asarray(best_parameters, dtype=float),
+        best_value=float(best_value),
+        trace=trace,
+        evaluations=result.nfev,
+        circuit_duration=experiment.duration,
+        mixer_duration=model.mixer_duration(pipeline.backend.target),
+    )

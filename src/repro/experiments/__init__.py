@@ -1,0 +1,20 @@
+"""Reproduction drivers for every table and figure of the paper.
+
+Each module exposes ``run(config) -> result`` plus ``render(result) ->
+str`` producing the same rows/series the paper reports, side by side with
+the paper's numbers.  ``python -m repro.experiments <table1|fig4|fig5|
+table2|fig6|convergence>`` runs them from the command line.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments import fig4, fig5, fig6, table1, table2, convergence
+
+__all__ = [
+    "ExperimentConfig",
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "convergence",
+]

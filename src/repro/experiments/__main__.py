@@ -1,0 +1,86 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentConfig,
+    convergence,
+    fig4,
+    fig5,
+    fig6,
+    table1,
+    table2,
+)
+
+DRIVERS = {
+    "table1": table1,
+    "table2": table2,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "convergence": convergence,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(DRIVERS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced iterations/shots for a fast smoke run",
+    )
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--shots", type=int, default=1024)
+    parser.add_argument("--maxiter", type=int, default=50)
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(
+        shots=args.shots,
+        maxiter=args.maxiter,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    names = sorted(DRIVERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        driver = DRIVERS[name]
+        start = time.time()
+        result = driver.run(config)
+        elapsed = time.time() - start
+        print(driver.render(result))
+        print(f"[{name} completed in {elapsed:.1f} s]")
+        checks = getattr(driver, "shape_checks", None)
+        if checks is not None:
+            violations = checks(result)
+            if violations:
+                print("SHAPE-CHECK VIOLATIONS:")
+                for violation in violations:
+                    print(f"  - {violation}")
+            else:
+                print("all paper shape checks passed")
+        verify = getattr(driver, "verify", None)
+        if verify is not None:
+            mismatches = verify(result)
+            if mismatches:
+                print("CALIBRATION MISMATCHES:")
+                for mismatch in mismatches:
+                    print(f"  - {mismatch}")
+            else:
+                print("calibration data matches the paper exactly")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def text_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a separator under the header."""
+    rendered_rows = [
+        [_render_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(
+        h.ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _render_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 100 else f"{cell:.1f}"
+    return str(cell)
+
+
+def percent(value: float) -> str:
+    """Render a 0-1 ratio as a percentage string."""
+    return f"{100 * value:.1f}%"
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (for figure-style outputs)."""
+    peak = max(values) if values else 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if peak else ""
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value:.3f}{unit}"
+        )
+    return "\n".join(lines)

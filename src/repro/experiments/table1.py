@@ -1,0 +1,66 @@
+"""Table I: calibration data of the four backends.
+
+The fake backends are *parameterised by* the paper's numbers, so this
+driver both regenerates the table and asserts that the simulated devices
+actually carry the published calibration values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import TABLE1_PAPER, ExperimentConfig
+from repro.experiments.reporting import text_table
+
+BACKENDS = ("auckland", "toronto", "guadalupe", "montreal")
+
+
+def run(config: ExperimentConfig | None = None) -> dict[str, dict]:
+    """Collect the calibration rows from the fake backends."""
+    config = config or ExperimentConfig()
+    out: dict[str, dict] = {}
+    for name in BACKENDS:
+        backend = config.backend(name)
+        out[name] = backend.properties_row()
+    return out
+
+
+def render(result: dict[str, dict]) -> str:
+    headers = [
+        "Backends",
+        *(name for name in result),
+    ]
+    fields = [
+        ("# qubit", "num_qubits", "{:d}"),
+        ("Pauli-X error", "pauli_x_error", "{:.3e}"),
+        ("CNOT error", "cnot_error", "{:.3e}"),
+        ("Readout error", "readout_error", "{:.3f}"),
+        ("T1 time (us)", "t1_us", "{:.3f}"),
+        ("T2 time (us)", "t2_us", "{:.3f}"),
+        ("Readout length (ns)", "readout_length_ns", "{:.3f}"),
+    ]
+    rows = []
+    for label, key, fmt in fields:
+        row = [label]
+        for name in result:
+            value = result[name][key]
+            row.append(fmt.format(int(value) if fmt == "{:d}" else value))
+        rows.append(row)
+    return text_table(
+        headers,
+        rows,
+        title="TABLE I: Calibration data of the simulated backends "
+        "(paper values; T1/T2 interpreted as microseconds)",
+    )
+
+
+def verify(result: dict[str, dict]) -> list[str]:
+    """Compare against the paper's Table I; returns mismatch messages."""
+    problems = []
+    for name, expected in TABLE1_PAPER.items():
+        measured = result[name]
+        for key, value in expected.items():
+            got = measured[key]
+            if abs(got - value) > max(1e-9, 1e-3 * abs(value)):
+                problems.append(
+                    f"{name}.{key}: paper {value} != backend {got}"
+                )
+    return problems

@@ -1,0 +1,25 @@
+"""Physical device models: transmon qubits, couplings, drive Hamiltonians."""
+
+from repro.hamiltonian.operators import (
+    PAULI_I,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    SIGMA_MINUS,
+    SIGMA_PLUS,
+    pauli_string,
+)
+from repro.hamiltonian.transmon import TransmonQubit
+from repro.hamiltonian.system import DeviceModel
+
+__all__ = [
+    "PAULI_I",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "SIGMA_MINUS",
+    "SIGMA_PLUS",
+    "pauli_string",
+    "TransmonQubit",
+    "DeviceModel",
+]

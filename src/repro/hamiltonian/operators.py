@@ -1,0 +1,51 @@
+"""Elementary operators for building drive Hamiltonians."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulatorError
+from repro.utils.linalg import kron_all
+
+PAULI_I = np.eye(2, dtype=complex)
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+#: lowering operator: SIGMA_MINUS |1> = |0>
+SIGMA_MINUS = np.array([[0, 1], [0, 0]], dtype=complex)
+#: raising operator: SIGMA_PLUS |0> = |1>
+SIGMA_PLUS = np.array([[0, 0], [1, 0]], dtype=complex)
+
+_PAULIS = {"I": PAULI_I, "X": PAULI_X, "Y": PAULI_Y, "Z": PAULI_Z}
+
+
+def pauli_string(label: str) -> np.ndarray:
+    """Dense matrix of a Pauli string.
+
+    The label is written with qubit 0 **rightmost** (``"XI"`` applies X to
+    qubit 1), consistent with bitstring rendering.
+    """
+    if not label:
+        raise SimulatorError("empty Pauli label")
+    try:
+        mats = [_PAULIS[c] for c in label]
+    except KeyError as exc:
+        raise SimulatorError(f"bad Pauli label {label!r}") from exc
+    return kron_all(mats)
+
+
+def single_qubit_hamiltonian(
+    detuning: float, rabi_x: float, rabi_y: float
+) -> np.ndarray:
+    """Rotating-frame qubit Hamiltonian (angular units).
+
+    ``H = -(detuning/2) Z + (rabi_x/2) X + (rabi_y/2) Y`` with ``detuning =
+    drive frequency - qubit frequency`` — the sign convention puts a
+    blue-detuned drive below resonance in energy for the |1> state.
+    """
+    return (
+        -(detuning / 2) * PAULI_Z
+        + (rabi_x / 2) * PAULI_X
+        + (rabi_y / 2) * PAULI_Y
+    )

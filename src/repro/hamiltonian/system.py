@@ -1,0 +1,158 @@
+"""Multi-transmon device model.
+
+A :class:`DeviceModel` owns the per-qubit physics, the exchange-coupling
+graph, and the control-channel map used by cross-resonance pulses.  It is
+deliberately independent of the *backend* abstraction: backends combine a
+device model (physics) with calibration data (noise statistics).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import PulseError
+from repro.hamiltonian.transmon import TransmonQubit
+from repro.pulse.channels import ControlChannel, DriveChannel
+
+#: IBM backend sample time: 2/9 ns
+DEFAULT_DT = 2.0 / 9.0
+
+
+class DeviceModel:
+    """Physics of an n-transmon device.
+
+    Parameters
+    ----------
+    qubits:
+        Per-qubit :class:`TransmonQubit` parameters.
+    couplings:
+        Iterable of ``(i, j, J)`` exchange couplings with ``J`` in GHz.
+        Each coupled, directed pair (i, j) and (j, i) gets a
+        :class:`ControlChannel`; channel indices are assigned in sorted
+        order of the directed pairs.
+    dt:
+        Sample time in nanoseconds.
+    """
+
+    def __init__(
+        self,
+        qubits: Sequence[TransmonQubit],
+        couplings: Iterable[tuple[int, int, float]] = (),
+        dt: float = DEFAULT_DT,
+    ) -> None:
+        self.qubits = list(qubits)
+        self.dt = float(dt)
+        self._coupling: dict[tuple[int, int], float] = {}
+        for i, j, strength in couplings:
+            if i == j:
+                raise PulseError(f"self-coupling on qubit {i}")
+            if not (0 <= i < len(self.qubits) and 0 <= j < len(self.qubits)):
+                raise PulseError(f"coupling ({i},{j}) out of range")
+            key = (min(i, j), max(i, j))
+            self._coupling[key] = float(strength)
+        directed = sorted(
+            pair
+            for key in self._coupling
+            for pair in (key, (key[1], key[0]))
+        )
+        self._control_channels: dict[tuple[int, int], ControlChannel] = {
+            pair: ControlChannel(index)
+            for index, pair in enumerate(directed)
+        }
+        self._control_pairs: dict[int, tuple[int, int]] = {
+            ch.index: pair for pair, ch in self._control_channels.items()
+        }
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    # ------------------------------------------------------------------
+    def coupling_strength(self, i: int, j: int) -> float:
+        """Exchange coupling J between qubits i and j in GHz (0 if none)."""
+        return self._coupling.get((min(i, j), max(i, j)), 0.0)
+
+    def coupled_pairs(self) -> list[tuple[int, int]]:
+        """Undirected coupled pairs, sorted."""
+        return sorted(self._coupling)
+
+    def drive_channel(self, qubit: int) -> DriveChannel:
+        if not 0 <= qubit < self.num_qubits:
+            raise PulseError(f"qubit {qubit} out of range")
+        return DriveChannel(qubit)
+
+    def control_channel(self, control: int, target: int) -> ControlChannel:
+        """The CR control channel for the directed pair (control, target)."""
+        try:
+            return self._control_channels[(control, target)]
+        except KeyError as exc:
+            raise PulseError(
+                f"no control channel for pair ({control}, {target}); "
+                f"qubits are not coupled"
+            ) from exc
+
+    def control_channel_pair(self, index: int) -> tuple[int, int]:
+        """(control, target) qubits of control channel ``index``."""
+        try:
+            return self._control_pairs[index]
+        except KeyError as exc:
+            raise PulseError(f"unknown control channel u{index}") from exc
+
+    def detuning(self, control: int, target: int) -> float:
+        """Angular frequency difference omega_c - omega_t (rad/ns)."""
+        return (
+            self.qubits[control].omega - self.qubits[target].omega
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        num_qubits: int,
+        coupling_map: Iterable[tuple[int, int]] = (),
+        frequency: float = 5.0,
+        frequency_step: float = 0.08,
+        anharmonicity: float = -0.34,
+        drive_strength: float = 0.034,
+        coupling_j: float = 0.005,
+        t1: float = 100_000.0,
+        t2: float = 100_000.0,
+        dt: float = DEFAULT_DT,
+    ) -> "DeviceModel":
+        """Regular device: coloured frequencies, uniform couplings.
+
+        Frequencies are allocated by greedy colouring of the coupling
+        graph so that *coupled* qubits are always detuned by at least
+        ``frequency_step`` — the standard frequency-allocation scheme
+        that keeps cross-resonance effective (a zero-detuning neighbour
+        pair would make CR degenerate).
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_qubits))
+        edge_list = [(i, j) for i, j in coupling_map]
+        graph.add_edges_from(edge_list)
+        coloring = nx.greedy_color(graph, strategy="largest_first")
+        qubits = [
+            TransmonQubit(
+                frequency=frequency
+                + frequency_step * (coloring.get(q, 0) - 1),
+                anharmonicity=anharmonicity,
+                drive_strength=drive_strength,
+                t1=t1,
+                t2=t2,
+            )
+            for q in range(num_qubits)
+        ]
+        couplings = [(i, j, coupling_j) for i, j in edge_list]
+        return cls(qubits, couplings, dt)
+
+    def __repr__(self) -> str:
+        freqs = ", ".join(f"{q.frequency:.3f}" for q in self.qubits[:4])
+        suffix = "..." if self.num_qubits > 4 else ""
+        return (
+            f"DeviceModel({self.num_qubits} qubits @ [{freqs}{suffix}] GHz, "
+            f"{len(self._coupling)} couplings, dt={self.dt:.4f} ns)"
+        )

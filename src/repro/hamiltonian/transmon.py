@@ -1,0 +1,81 @@
+"""Single-transmon physical parameters.
+
+The library models each transmon as a driven two-level system in its own
+rotating frame, with the leading effect of the Duffing nonlinearity (the
+virtual coupling to the |2> level) folded in as an amplitude-dependent
+AC-Stark shift of the qubit frequency — the same physics the paper cites
+([38], Schuster et al.) when bounding the frequency-modulation range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class TransmonQubit:
+    """Parameters of one transmon.
+
+    Attributes
+    ----------
+    frequency:
+        Qubit |0>-|1> transition frequency in GHz.
+    anharmonicity:
+        Duffing anharmonicity in GHz (negative for transmons).
+    drive_strength:
+        Linear Rabi frequency in GHz obtained at unit pulse amplitude;
+        the angular Rabi rate is ``2*pi*drive_strength*amp``.
+    t1, t2:
+        Relaxation and coherence times in nanoseconds.
+    """
+
+    frequency: float = 5.0
+    anharmonicity: float = -0.34
+    drive_strength: float = 0.034
+    t1: float = 100_000.0
+    t2: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError("qubit frequency must be positive")
+        if self.anharmonicity >= 0:
+            raise ValueError("transmon anharmonicity must be negative")
+        if self.drive_strength <= 0:
+            raise ValueError("drive strength must be positive")
+        if self.t1 <= 0 or self.t2 <= 0:
+            raise ValueError("T1/T2 must be positive")
+        if self.t2 > 2 * self.t1:
+            raise ValueError("unphysical T2 > 2*T1")
+
+    # -- angular-unit helpers (rad/ns) -------------------------------------
+    @property
+    def omega(self) -> float:
+        """Angular qubit frequency (rad/ns)."""
+        return 2 * math.pi * self.frequency
+
+    @property
+    def alpha(self) -> float:
+        """Angular anharmonicity (rad/ns), negative."""
+        return 2 * math.pi * self.anharmonicity
+
+    def rabi_rate(self, amp: float) -> float:
+        """Angular Rabi rate at pulse amplitude ``amp`` (rad/ns)."""
+        return 2 * math.pi * self.drive_strength * amp
+
+    def stark_shift(self, amp: float) -> float:
+        """AC-Stark shift of the qubit frequency at drive amplitude ``amp``.
+
+        Leading-order level repulsion from the |1>-|2> transition detuned
+        by the anharmonicity: ``delta = Omega^2 / (2*alpha)`` (rad/ns,
+        negative for transmons).  Driving harder makes the qubit look
+        red-shifted, distorting the rotation axis — the physical cost of
+        compressing pulse duration.
+        """
+        omega_r = self.rabi_rate(amp)
+        return omega_r**2 / (2 * self.alpha)
+
+    def max_rotation(self, envelope_area_ns: float) -> float:
+        """Largest rotation angle achievable with unit amplitude and the
+        given unit-amplitude envelope area (in ns)."""
+        return 2 * math.pi * self.drive_strength * envelope_area_ns

@@ -1,0 +1,44 @@
+"""Conditional value-at-risk aggregation (Barkoutsos et al., 2020).
+
+Functional form of the CVaR objective (paper Step III): the mean of the
+best ``alpha`` fraction of measured objective values.  The class-based
+cost lives in :class:`repro.vqa.cost.CVaRCost`; this module provides the
+bare function for use on arbitrary scoring functions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.exceptions import MitigationError
+
+
+def cvar_expectation(
+    counts: Mapping[str, int | float],
+    score: Callable[[str], float],
+    alpha: float,
+) -> float:
+    """Mean of ``score`` over the best ``alpha`` fraction of shots.
+
+    With ``alpha = 1`` this is the plain expectation; as ``alpha -> 0``
+    it approaches the best observed value.
+    """
+    if not 0 < alpha <= 1:
+        raise MitigationError(f"alpha must be in (0,1], got {alpha}")
+    total = float(sum(counts.values()))
+    if total <= 0:
+        raise MitigationError("empty counts")
+    scored = sorted(
+        ((score(key), float(count)) for key, count in counts.items()),
+        key=lambda pair: -pair[0],
+    )
+    budget = alpha * total
+    used = 0.0
+    acc = 0.0
+    for value, count in scored:
+        take = min(count, budget - used)
+        acc += value * take
+        used += take
+        if used >= budget - 1e-12:
+            break
+    return acc / budget

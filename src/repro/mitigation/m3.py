@@ -1,0 +1,213 @@
+"""Matrix-free measurement mitigation (M3), Nation et al., PRX Quantum 2021.
+
+Instead of building the full ``2^n x 2^n`` assignment matrix ``A`` (or its
+inverse), M3 works in the subspace spanned by the **observed** bitstrings:
+the reduced matrix ``Ã`` has one row/column per distinct observed string,
+with elements from products of per-qubit confusion factors, columns
+renormalised over the subspace.  ``Ã x = p_noisy`` is then solved either
+directly (LU) or iteratively with a matrix-free operator (preconditioned
+GMRES), optionally restricting matrix elements to Hamming distance <= D.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+from scipy.sparse.linalg import LinearOperator, gmres
+
+from repro.exceptions import MitigationError
+from repro.noise.readout import ReadoutError
+from repro.utils.bitstrings import bitstring_to_index, hamming_distance, index_to_bitstring
+
+
+class QuasiDistribution(dict):
+    """A quasi-probability dictionary (values may be slightly negative)."""
+
+    def nearest_probability_distribution(self) -> dict[str, float]:
+        """Project onto the probability simplex (Smolin et al. 2012).
+
+        Walk the entries smallest-first; any entry that cannot be made
+        non-negative by the accumulated correction is dropped and its
+        mass spread uniformly over the survivors.
+        """
+        items = sorted(self.items(), key=lambda kv: kv[1])
+        total = sum(value for _, value in items)
+        if total <= 0:
+            raise MitigationError("quasi-distribution has no positive mass")
+        # renormalise so the simplex target sums to one
+        items = [(key, value / total) for key, value in items]
+        negative_mass = 0.0
+        start = 0
+        remaining = len(items)
+        for idx, (_, value) in enumerate(items):
+            if value + negative_mass / remaining < 0:
+                negative_mass += value
+                remaining -= 1
+                start = idx + 1
+            else:
+                break
+        if remaining == 0:
+            raise MitigationError("all quasi-probability mass was negative")
+        correction = negative_mass / remaining
+        return {
+            key: float(value + correction)
+            for key, value in items[start:]
+        }
+
+    def expectation(self, diagonal_fn) -> float:
+        """Expectation of a bitstring-valued function."""
+        total = sum(self.values())
+        return float(
+            sum(diagonal_fn(key) * value for key, value in self.items())
+            / total
+        )
+
+
+class M3Mitigator:
+    """Subspace readout-error mitigation for a set of measured qubits."""
+
+    def __init__(self, readout: ReadoutError) -> None:
+        self.readout = readout
+
+    @classmethod
+    def from_backend(
+        cls, backend, qubits: Sequence[int]
+    ) -> "M3Mitigator":
+        """Calibration step: extract the backend's per-qubit confusion
+        restricted to ``qubits`` (the paper's "initial calibration
+        program")."""
+        noise_model = backend.noise_model
+        if noise_model is None or noise_model.readout_error is None:
+            raise MitigationError(
+                f"backend {backend.name!r} has no readout-error model"
+            )
+        return cls(noise_model.readout_error.subset(qubits))
+
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        counts: Mapping[str, int],
+        distance: int | None = None,
+        method: str = "iterative",
+        tol: float = 1e-8,
+    ) -> QuasiDistribution:
+        """Mitigate ``counts``; returns a quasi-probability distribution.
+
+        ``distance`` truncates matrix elements beyond that Hamming
+        distance (None = full subspace coupling).  ``method`` is
+        ``"iterative"`` (matrix-free preconditioned GMRES) or
+        ``"direct"`` (dense LU, for testing/small subspaces).
+        """
+        if not counts:
+            raise MitigationError("empty counts")
+        keys = sorted(counts)
+        num_bits = len(keys[0])
+        if any(len(k) != num_bits for k in keys):
+            raise MitigationError("inconsistent bitstring lengths")
+        if num_bits != self.readout.num_qubits:
+            raise MitigationError(
+                f"counts have {num_bits} bits, mitigator calibrated for "
+                f"{self.readout.num_qubits}"
+            )
+        shots = float(sum(counts.values()))
+        p_noisy = np.array([counts[k] for k in keys], dtype=float) / shots
+        indices = np.array([bitstring_to_index(k) for k in keys])
+
+        columns_norm = self._column_norms(indices, distance)
+        if method == "direct":
+            matrix = self._reduced_matrix(indices, distance, columns_norm)
+            solution = np.linalg.solve(matrix, p_noisy)
+        elif method == "iterative":
+            operator = LinearOperator(
+                (len(keys), len(keys)),
+                matvec=lambda v: self._matvec(
+                    v, indices, distance, columns_norm
+                ),
+            )
+            diagonal = self._diagonal(indices, columns_norm)
+            preconditioner = LinearOperator(
+                (len(keys), len(keys)), matvec=lambda v: v / diagonal
+            )
+            solution, info = gmres(
+                operator, p_noisy, M=preconditioner, rtol=tol, atol=0.0
+            )
+            if info != 0:
+                raise MitigationError(f"GMRES failed to converge ({info})")
+        else:
+            raise MitigationError(f"unknown method {method!r}")
+        return QuasiDistribution(
+            {key: float(x) for key, x in zip(keys, solution)}
+        )
+
+    # ------------------------------------------------------------------
+    def _element(self, measured: int, prepared: int) -> float:
+        return self.readout.assignment_probability(measured, prepared)
+
+    def _column_norms(
+        self, indices: np.ndarray, distance: int | None
+    ) -> np.ndarray:
+        """Per-column normalisation over the observed subspace."""
+        norms = np.zeros(len(indices))
+        for col, prepared in enumerate(indices):
+            total = 0.0
+            for measured in indices:
+                if distance is not None and hamming_distance(
+                    int(measured), int(prepared)
+                ) > distance:
+                    continue
+                total += self._element(int(measured), int(prepared))
+            if total <= 0:
+                raise MitigationError("zero column norm in M3 subspace")
+            norms[col] = total
+        return norms
+
+    def _reduced_matrix(
+        self,
+        indices: np.ndarray,
+        distance: int | None,
+        column_norms: np.ndarray,
+    ) -> np.ndarray:
+        size = len(indices)
+        matrix = np.zeros((size, size))
+        for col, prepared in enumerate(indices):
+            for row, measured in enumerate(indices):
+                if distance is not None and hamming_distance(
+                    int(measured), int(prepared)
+                ) > distance:
+                    continue
+                matrix[row, col] = self._element(
+                    int(measured), int(prepared)
+                ) / column_norms[col]
+        return matrix
+
+    def _matvec(
+        self,
+        vector: np.ndarray,
+        indices: np.ndarray,
+        distance: int | None,
+        column_norms: np.ndarray,
+    ) -> np.ndarray:
+        """Matrix-free ``Ã @ v`` over the observed subspace."""
+        out = np.zeros(len(indices))
+        for col, prepared in enumerate(indices):
+            weight = vector[col] / column_norms[col]
+            if weight == 0.0:
+                continue
+            for row, measured in enumerate(indices):
+                if distance is not None and hamming_distance(
+                    int(measured), int(prepared)
+                ) > distance:
+                    continue
+                out[row] += self._element(int(measured), int(prepared)) * weight
+        return out
+
+    def _diagonal(
+        self, indices: np.ndarray, column_norms: np.ndarray
+    ) -> np.ndarray:
+        return np.array(
+            [
+                self._element(int(i), int(i)) / column_norms[pos]
+                for pos, i in enumerate(indices)
+            ]
+        )

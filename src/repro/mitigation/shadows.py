@@ -1,0 +1,114 @@
+"""Classical shadows for diagonal observables.
+
+The paper's Fig. 3 lists "Measurement reduction / Classical Shadows" as a
+Step-III option.  This module implements the random single-qubit Pauli
+measurement scheme of Huang, Kueng & Preskill (2020) restricted to what
+QAOA needs: estimating expectation values of Z-basis (diagonal) operators
+— here, ZZ correlators of the Max-Cut Hamiltonian — from far fewer shots
+than full tomography would need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import MitigationError
+from repro.utils.rng import as_generator
+
+_BASIS_ROTATIONS = ("z", "x", "y")
+
+
+class ClassicalShadowEstimator:
+    """Random-Pauli-basis shadow estimation of Pauli-string observables."""
+
+    def __init__(self, num_qubits: int, seed: int | None = None) -> None:
+        self.num_qubits = num_qubits
+        self._rng = as_generator(seed)
+        self._snapshots: list[tuple[tuple[int, ...], int]] = []
+
+    # ------------------------------------------------------------------
+    def sample_bases(self, num_snapshots: int) -> list[tuple[int, ...]]:
+        """Random measurement bases: 0 = Z, 1 = X, 2 = Y per qubit."""
+        return [
+            tuple(int(b) for b in self._rng.integers(0, 3, self.num_qubits))
+            for _ in range(num_snapshots)
+        ]
+
+    def measurement_circuit(
+        self, base_circuit: QuantumCircuit, bases: Sequence[int]
+    ) -> QuantumCircuit:
+        """Append basis rotations + measurement for one snapshot."""
+        if base_circuit.has_measurements():
+            raise MitigationError("base circuit must not measure")
+        qc = base_circuit.copy()
+        for q, basis in enumerate(bases):
+            if basis == 1:  # X: rotate with H
+                qc.h(q)
+            elif basis == 2:  # Y: rotate with S† H
+                qc.sdg(q)
+                qc.h(q)
+        qc.measure_all()
+        return qc
+
+    def add_snapshot(self, bases: Sequence[int], outcome: str | int) -> None:
+        """Record one (bases, measured bitstring) snapshot."""
+        if isinstance(outcome, str):
+            outcome = int(outcome, 2)
+        self._snapshots.append((tuple(bases), int(outcome)))
+
+    @property
+    def num_snapshots(self) -> int:
+        return len(self._snapshots)
+
+    # ------------------------------------------------------------------
+    def expectation_pauli(self, label: str) -> float:
+        """Estimate <P> for a Pauli string (qubit 0 = rightmost char).
+
+        Each snapshot contributes ``prod_q 3 * (+-1)`` over the string's
+        support when its bases match, else 0 (the standard inverse-channel
+        estimator).
+        """
+        if len(label) != self.num_qubits:
+            raise MitigationError(
+                f"label length {len(label)} != {self.num_qubits} qubits"
+            )
+        if not self._snapshots:
+            raise MitigationError("no snapshots recorded")
+        wanted: list[tuple[int, int]] = []  # (qubit, basis)
+        for position, char in enumerate(label):
+            qubit = self.num_qubits - 1 - position
+            if char == "I":
+                continue
+            try:
+                basis = {"Z": 0, "X": 1, "Y": 2}[char]
+            except KeyError as exc:
+                raise MitigationError(f"bad Pauli {char!r}") from exc
+            wanted.append((qubit, basis))
+        total = 0.0
+        for bases, outcome in self._snapshots:
+            value = 1.0
+            for qubit, basis in wanted:
+                if bases[qubit] != basis:
+                    value = 0.0
+                    break
+                bit = (outcome >> qubit) & 1
+                value *= 3.0 * (1.0 - 2.0 * bit)
+            total += value
+        return total / len(self._snapshots)
+
+    def expectation_zz(self, i: int, j: int) -> float:
+        """Estimate <Z_i Z_j>."""
+        label = ["I"] * self.num_qubits
+        label[self.num_qubits - 1 - i] = "Z"
+        label[self.num_qubits - 1 - j] = "Z"
+        return self.expectation_pauli("".join(label))
+
+    def expected_cut(self, edges: Sequence[tuple[int, int, float]]) -> float:
+        """Shadow estimate of the Max-Cut value sum_e w (1 - <ZZ>)/2."""
+        total = 0.0
+        for i, j, weight in edges:
+            total += weight * (1.0 - self.expectation_zz(i, j)) / 2.0
+        return total

@@ -1,0 +1,81 @@
+"""Zero-noise extrapolation (the paper's Step-III "Observable (ZNE)" option).
+
+Noise is amplified by global unitary folding (``U -> U (U† U)^k``), the
+observable is measured at several noise scale factors, and a Richardson
+(polynomial) extrapolation estimates the zero-noise value.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Barrier, Measure
+from repro.exceptions import MitigationError
+
+
+def fold_circuit(circuit: QuantumCircuit, scale_factor: float) -> QuantumCircuit:
+    """Amplify noise by folding the unitary part of ``circuit``.
+
+    ``scale_factor`` must be an odd integer (1, 3, 5, ...): the unitary
+    part is replaced by ``U (U† U)^((s-1)/2)``; measurements and trailing
+    barriers are re-appended unchanged.
+    """
+    if scale_factor < 1 or abs(scale_factor - round(scale_factor)) > 1e-9:
+        raise MitigationError("scale factor must be a positive integer")
+    scale = int(round(scale_factor))
+    if scale % 2 == 0:
+        raise MitigationError("unitary folding needs an odd scale factor")
+
+    unitary_part = QuantumCircuit(circuit.num_qubits, circuit.num_clbits)
+    tail: list = []
+    for inst in circuit.instructions:
+        if isinstance(inst.operation, Measure):
+            tail.append(inst)
+        else:
+            unitary_part.append(inst.operation, inst.qubits, inst.clbits)
+    # drop barriers that only guarded the measurement layer
+    while unitary_part.instructions and isinstance(
+        unitary_part.instructions[-1].operation, Barrier
+    ):
+        tail.insert(
+            0, unitary_part.instructions.pop()
+        )
+
+    folded = unitary_part.copy()
+    folds = (scale - 1) // 2
+    inverse = unitary_part.inverse()
+    for _ in range(folds):
+        folded = folded.compose(inverse).compose(unitary_part)
+    for inst in tail:
+        folded.append(inst.operation, inst.qubits, inst.clbits)
+    folded.name = f"{circuit.name}_folded{scale}"
+    return folded
+
+
+def richardson_extrapolate(
+    scale_factors: Sequence[float], values: Sequence[float]
+) -> float:
+    """Polynomial extrapolation of ``values(scale)`` to scale 0."""
+    if len(scale_factors) != len(values) or len(values) < 2:
+        raise MitigationError("need >= 2 (scale, value) pairs")
+    scales = np.asarray(scale_factors, dtype=float)
+    if len(set(scales.tolist())) != len(scales):
+        raise MitigationError("scale factors must be distinct")
+    coeffs = np.polyfit(scales, np.asarray(values, dtype=float), len(scales) - 1)
+    return float(np.polyval(coeffs, 0.0))
+
+
+def zne_expectation(
+    circuit: QuantumCircuit,
+    evaluate: Callable[[QuantumCircuit], float],
+    scale_factors: Sequence[int] = (1, 3, 5),
+) -> tuple[float, list[float]]:
+    """Measure ``evaluate`` at folded noise levels and extrapolate to zero.
+
+    Returns ``(zero_noise_estimate, per_scale_values)``.
+    """
+    values = [evaluate(fold_circuit(circuit, s)) for s in scale_factors]
+    return richardson_extrapolate(scale_factors, values), values

@@ -1,0 +1,25 @@
+"""Noise channels, readout errors and per-backend noise models."""
+
+from repro.noise.channels import (
+    KrausChannel,
+    amplitude_damping_channel,
+    coherent_overrotation_channel,
+    depolarizing_channel,
+    pauli_channel,
+    phase_damping_channel,
+    thermal_relaxation_channel,
+)
+from repro.noise.readout import ReadoutError
+from repro.noise.model import NoiseModel
+
+__all__ = [
+    "KrausChannel",
+    "amplitude_damping_channel",
+    "coherent_overrotation_channel",
+    "depolarizing_channel",
+    "pauli_channel",
+    "phase_damping_channel",
+    "thermal_relaxation_channel",
+    "ReadoutError",
+    "NoiseModel",
+]

@@ -1,0 +1,253 @@
+"""Quantum noise channels in Kraus form.
+
+The factories here build the channels the backend noise models are made of:
+depolarizing (gate infidelity), thermal relaxation (T1/T2 decay over a
+duration), and coherent over-rotations (calibration drift).  All channels
+verify completeness ``sum K†K = I`` on construction.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import NoiseError
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_PAULIS = {"I": _I, "X": _X, "Y": _Y, "Z": _Z}
+
+
+class KrausChannel:
+    """A CPTP map given by its Kraus operators."""
+
+    def __init__(
+        self,
+        kraus_ops: Sequence[np.ndarray],
+        name: str = "kraus",
+        atol: float = 1e-8,
+    ) -> None:
+        if not kraus_ops:
+            raise NoiseError("channel needs at least one Kraus operator")
+        ops = [np.asarray(op, dtype=complex) for op in kraus_ops]
+        dim = ops[0].shape[0]
+        for op in ops:
+            if op.shape != (dim, dim):
+                raise NoiseError("Kraus operators must share a square shape")
+        completeness = sum(op.conj().T @ op for op in ops)
+        if not np.allclose(completeness, np.eye(dim), atol=atol):
+            raise NoiseError(
+                f"channel {name!r} is not trace preserving "
+                f"(deviation {np.max(np.abs(completeness - np.eye(dim))):.2e})"
+            )
+        self.kraus_ops = ops
+        self.name = name
+        self.dim = dim
+
+    @property
+    def num_qubits(self) -> int:
+        return self.dim.bit_length() - 1
+
+    def is_identity(self, atol: float = 1e-12) -> bool:
+        """True when the channel acts as the identity map."""
+        if len(self.kraus_ops) == 1:
+            op = self.kraus_ops[0]
+            tr = np.trace(op)
+            if abs(tr) < atol:
+                return False
+            phase = tr / abs(tr)
+            return bool(
+                np.allclose(op, phase * np.eye(self.dim), atol=atol)
+            )
+        # multi-operator channels: identity iff all but one vanish
+        live = [
+            op
+            for op in self.kraus_ops
+            if np.max(np.abs(op)) > atol
+        ]
+        if len(live) != 1:
+            return False
+        return KrausChannel(live, self.name).is_identity(atol)
+
+    def compose(self, other: "KrausChannel") -> "KrausChannel":
+        """The channel applying ``self`` then ``other``."""
+        if self.dim != other.dim:
+            raise NoiseError("cannot compose channels of different size")
+        ops = [
+            b @ a for a in self.kraus_ops for b in other.kraus_ops
+        ]
+        return KrausChannel(ops, name=f"{other.name}∘{self.name}")
+
+    def expand(self, other: "KrausChannel") -> "KrausChannel":
+        """Tensor product; ``self`` acts on the lower-significance qubits."""
+        ops = [
+            np.kron(b, a)
+            for a in self.kraus_ops
+            for b in other.kraus_ops
+        ]
+        return KrausChannel(ops, name=f"{other.name}⊗{self.name}")
+
+    def average_gate_fidelity(self) -> float:
+        """Average gate fidelity of the channel w.r.t. the identity."""
+        dim = self.dim
+        entanglement_fid = sum(
+            abs(np.trace(op)) ** 2 for op in self.kraus_ops
+        ) / dim**2
+        return float((dim * entanglement_fid + 1) / (dim + 1))
+
+    def __repr__(self) -> str:
+        return (
+            f"KrausChannel({self.name!r}, {self.num_qubits}q, "
+            f"{len(self.kraus_ops)} ops)"
+        )
+
+
+def pauli_channel(
+    probabilities: dict[str, float], num_qubits: int = 1
+) -> KrausChannel:
+    """Channel applying Pauli strings with given probabilities.
+
+    ``probabilities`` maps Pauli labels (e.g. ``"X"``, ``"XI"``) to their
+    probability; the identity probability is inferred as the remainder.
+    Label characters are ordered with qubit 0 **rightmost**.
+    """
+    total = sum(probabilities.values())
+    if total > 1 + 1e-12 or any(p < 0 for p in probabilities.values()):
+        raise NoiseError(f"bad Pauli probabilities {probabilities}")
+    ops = [math.sqrt(max(0.0, 1 - total)) * np.eye(1 << num_qubits)]
+    for label, prob in probabilities.items():
+        if len(label) != num_qubits:
+            raise NoiseError(f"label {label!r} length != {num_qubits}")
+        mat = np.array([[1.0]], dtype=complex)
+        for char in label:  # leftmost char = most significant qubit
+            if char not in _PAULIS:
+                raise NoiseError(f"bad Pauli character {char!r}")
+            mat = np.kron(mat, _PAULIS[char])
+        ops.append(math.sqrt(prob) * mat)
+    return KrausChannel(ops, name="pauli")
+
+
+def depolarizing_channel(
+    error_probability: float, num_qubits: int = 1
+) -> KrausChannel:
+    """Depolarizing channel: with probability ``p`` replace the state by
+    the maximally mixed state (uniform over non-identity Paulis)."""
+    p = float(error_probability)
+    if not 0 <= p <= 1:
+        raise NoiseError(f"depolarizing probability {p} out of [0,1]")
+    dim = 1 << num_qubits
+    num_paulis = dim * dim
+    labels = _pauli_labels(num_qubits)
+    ops = []
+    # uniform Pauli twirl: identity keeps 1 - p*(d^2-1)/d^2
+    for idx, label in enumerate(labels):
+        mat = np.array([[1.0]], dtype=complex)
+        for char in label:
+            mat = np.kron(mat, _PAULIS[char])
+        if idx == 0:
+            weight = 1 - p * (num_paulis - 1) / num_paulis
+        else:
+            weight = p / num_paulis
+        ops.append(math.sqrt(weight) * mat)
+    return KrausChannel(ops, name=f"depolarizing({p:g})")
+
+
+def _pauli_labels(num_qubits: int) -> list[str]:
+    labels = [""]
+    for _ in range(num_qubits):
+        labels = [
+            prev + char for prev in labels for char in "IXYZ"
+        ]
+    # reorder so the all-identity label is first
+    labels.sort(key=lambda s: (s != "I" * num_qubits, s))
+    return labels
+
+
+def amplitude_damping_channel(gamma: float) -> KrausChannel:
+    """T1 relaxation toward |0> with decay probability ``gamma``."""
+    if not 0 <= gamma <= 1:
+        raise NoiseError(f"gamma {gamma} out of [0,1]")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
+    return KrausChannel([k0, k1], name=f"amp_damp({gamma:g})")
+
+
+def phase_damping_channel(lam: float) -> KrausChannel:
+    """Pure dephasing with phase-flip-equivalent probability ``lam``."""
+    if not 0 <= lam <= 1:
+        raise NoiseError(f"lambda {lam} out of [0,1]")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - lam)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, math.sqrt(lam)]], dtype=complex)
+    return KrausChannel([k0, k1], name=f"phase_damp({lam:g})")
+
+
+def thermal_relaxation_channel(
+    t1: float,
+    t2: float,
+    duration: float,
+    excited_state_population: float = 0.0,
+) -> KrausChannel:
+    """Thermal relaxation over ``duration`` given T1/T2 (same time units).
+
+    Combines amplitude damping toward the thermal state and the extra pure
+    dephasing implied by ``T2 <= 2*T1``.  For ``duration == 0`` this is the
+    identity channel.
+    """
+    if t1 <= 0 or t2 <= 0:
+        raise NoiseError("T1 and T2 must be positive")
+    if t2 > 2 * t1 + 1e-9:
+        raise NoiseError(f"unphysical T2={t2} > 2*T1={2 * t1}")
+    if duration < 0:
+        raise NoiseError("duration must be non-negative")
+    p1 = float(excited_state_population)
+    if not 0 <= p1 <= 1:
+        raise NoiseError("excited_state_population out of [0,1]")
+
+    gamma = 1.0 - math.exp(-duration / t1)
+    # pure-dephasing rate: 1/T_phi = 1/T2 - 1/(2 T1)
+    rate_phi = max(0.0, 1.0 / t2 - 0.5 / t1)
+    lam = 1.0 - math.exp(-2.0 * duration * rate_phi)
+
+    # amplitude damping toward thermal state with population p1
+    ops: list[np.ndarray] = []
+    cold = [
+        math.sqrt(1 - p1) * np.array(
+            [[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex
+        ),
+        math.sqrt(1 - p1) * np.array(
+            [[0, math.sqrt(gamma)], [0, 0]], dtype=complex
+        ),
+    ]
+    hot = [
+        math.sqrt(p1) * np.array(
+            [[math.sqrt(1 - gamma), 0], [0, 1]], dtype=complex
+        ),
+        math.sqrt(p1) * np.array(
+            [[0, 0], [math.sqrt(gamma), 0]], dtype=complex
+        ),
+    ]
+    for op in cold + hot:
+        if np.max(np.abs(op)) > 0:
+            ops.append(op)
+    damping = KrausChannel(ops, name="thermal_damping")
+    dephasing = phase_damping_channel(lam)
+    combined = damping.compose(dephasing)
+    combined.name = f"thermal(t={duration:g})"
+    return combined
+
+
+def coherent_overrotation_channel(
+    axis: str, angle: float
+) -> KrausChannel:
+    """Unitary over-rotation by ``angle`` about a Pauli ``axis``."""
+    if axis.upper() not in ("X", "Y", "Z"):
+        raise NoiseError(f"bad rotation axis {axis!r}")
+    pauli = _PAULIS[axis.upper()]
+    unitary = (
+        math.cos(angle / 2) * _I - 1j * math.sin(angle / 2) * pauli
+    )
+    return KrausChannel([unitary], name=f"overrot_{axis}({angle:g})")

@@ -1,0 +1,22 @@
+"""Combinatorial problems: Max-Cut encoding and benchmark graphs."""
+
+from repro.problems.maxcut import MaxCutProblem
+from repro.problems.graphs import (
+    benchmark_graph,
+    erdos_renyi_6,
+    random_regular_graph,
+    three_regular_6,
+    three_regular_8,
+)
+from repro.problems.ising import IsingModel, maxcut_to_ising
+
+__all__ = [
+    "MaxCutProblem",
+    "benchmark_graph",
+    "erdos_renyi_6",
+    "random_regular_graph",
+    "three_regular_6",
+    "three_regular_8",
+    "IsingModel",
+    "maxcut_to_ising",
+]

@@ -1,0 +1,80 @@
+"""The paper's benchmark graphs (Fig. 4) and graph generators.
+
+The paper evaluates level-1 QAOA Max-Cut on three graphs:
+
+* task 1 — a 3-regular graph on 6 nodes with Max-Cut 9.  The only
+  3-regular 6-vertex graph whose maximum cut severs all 9 edges is the
+  bipartite Moebius ladder (isomorphic to K_{3,3}), which is exactly the
+  hexagon-plus-three-diameters drawing in Fig. 4(1).
+* task 2 — an Erdos-Renyi graph on 6 nodes with Max-Cut 8 (frozen
+  instance below has 12 edges).
+* task 3 — a 3-regular graph on 8 nodes with Max-Cut 10.
+
+The frozen edge lists make every experiment in the repository exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exceptions import ProblemError
+
+#: Fig. 4(1): Moebius ladder M6 = K_{3,3}; Max-Cut = 9
+THREE_REGULAR_6_EDGES = [
+    (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0),
+    (0, 3), (1, 4), (2, 5),
+]
+
+#: Fig. 4(2): Erdos-Renyi G(6, 0.6), frozen instance; Max-Cut = 8
+ERDOS_RENYI_6_EDGES = [
+    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2),
+    (2, 3), (2, 4), (2, 5), (3, 4), (3, 5), (4, 5),
+]
+
+#: Fig. 4(3): 3-regular on 8 nodes, frozen instance; Max-Cut = 10
+THREE_REGULAR_8_EDGES = [
+    (0, 1), (0, 6), (0, 7), (1, 3), (1, 7), (2, 4),
+    (2, 5), (2, 7), (3, 4), (3, 6), (4, 5), (5, 6),
+]
+
+
+def _graph_from_edges(edges, num_nodes: int) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    graph.add_edges_from(edges)
+    return graph
+
+
+def three_regular_6() -> nx.Graph:
+    """Task 1: the 3-regular 6-node benchmark graph (Max-Cut 9)."""
+    return _graph_from_edges(THREE_REGULAR_6_EDGES, 6)
+
+
+def erdos_renyi_6() -> nx.Graph:
+    """Task 2: the randomized 6-node benchmark graph (Max-Cut 8)."""
+    return _graph_from_edges(ERDOS_RENYI_6_EDGES, 6)
+
+
+def three_regular_8() -> nx.Graph:
+    """Task 3: the 3-regular 8-node benchmark graph (Max-Cut 10)."""
+    return _graph_from_edges(THREE_REGULAR_8_EDGES, 8)
+
+
+def benchmark_graph(task: int) -> nx.Graph:
+    """The graph of paper task 1, 2 or 3."""
+    graphs = {1: three_regular_6, 2: erdos_renyi_6, 3: three_regular_8}
+    if task not in graphs:
+        raise ProblemError(f"task must be 1, 2 or 3, got {task}")
+    return graphs[task]()
+
+
+def random_regular_graph(
+    degree: int, num_nodes: int, seed: int | None = None
+) -> nx.Graph:
+    """A random d-regular graph (for extension experiments)."""
+    if degree * num_nodes % 2:
+        raise ProblemError(
+            f"no {degree}-regular graph exists on {num_nodes} nodes"
+        )
+    return nx.random_regular_graph(degree, num_nodes, seed=seed)

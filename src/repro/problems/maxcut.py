@@ -1,0 +1,121 @@
+"""The Max-Cut problem and its QAOA cost bookkeeping."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.problems.ising import IsingModel, maxcut_to_ising
+from repro.utils.bitstrings import bitstring_to_index
+
+
+class MaxCutProblem:
+    """A (weighted) Max-Cut instance with cached cut values.
+
+    Bit i of a configuration selects the partition of node i (qubit 0 is
+    the rightmost bit of a counts key).
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ProblemError("empty graph")
+        nodes = sorted(graph.nodes)
+        if nodes != list(range(len(nodes))):
+            raise ProblemError(
+                "graph nodes must be labelled 0..n-1; relabel first"
+            )
+        self.graph = graph
+        self.num_nodes = graph.number_of_nodes()
+        self.edges = [
+            (int(a), int(b), float(data.get("weight", 1.0)))
+            for a, b, data in graph.edges(data=True)
+        ]
+        self._cut_values: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def cut_value(self, configuration: int | str) -> float:
+        """Weight of edges cut by a partition (int or bitstring)."""
+        if isinstance(configuration, str):
+            configuration = bitstring_to_index(configuration)
+        total = 0.0
+        for a, b, weight in self.edges:
+            if ((configuration >> a) & 1) != ((configuration >> b) & 1):
+                total += weight
+        return total
+
+    def cut_values(self) -> np.ndarray:
+        """Cut value of every basis state (cached)."""
+        if self._cut_values is None:
+            size = 1 << self.num_nodes
+            out = np.zeros(size)
+            for a, b, weight in self.edges:
+                bits_a = (np.arange(size) >> a) & 1
+                bits_b = (np.arange(size) >> b) & 1
+                out += weight * (bits_a ^ bits_b)
+            self._cut_values = out
+        return self._cut_values
+
+    def maximum_cut(self) -> float:
+        """Brute-force optimum (exact for the paper-size graphs)."""
+        if self.num_nodes > 24:
+            raise ProblemError("brute force capped at 24 nodes")
+        return float(self.cut_values().max())
+
+    def optimal_configurations(self) -> list[int]:
+        values = self.cut_values()
+        best = values.max()
+        return [int(i) for i in np.flatnonzero(values >= best - 1e-9)]
+
+    # ------------------------------------------------------------------
+    def expected_cut(self, counts: Mapping[str, int | float]) -> float:
+        """Average cut value under a counts/probability dictionary."""
+        total = float(sum(counts.values()))
+        if total <= 0:
+            raise ProblemError("empty counts")
+        acc = 0.0
+        for key, count in counts.items():
+            acc += self.cut_value(key) * count
+        return acc / total
+
+    def cvar_cut(
+        self, counts: Mapping[str, int | float], alpha: float
+    ) -> float:
+        """Conditional value-at-risk of the cut: mean over the best
+        ``alpha`` fraction of shots (Barkoutsos et al., Quantum 2020)."""
+        if not 0 < alpha <= 1:
+            raise ProblemError(f"alpha must be in (0, 1], got {alpha}")
+        total = float(sum(counts.values()))
+        if total <= 0:
+            raise ProblemError("empty counts")
+        scored = sorted(
+            ((self.cut_value(key), float(count)) for key, count in counts.items()),
+            key=lambda pair: -pair[0],
+        )
+        budget = alpha * total
+        acc = 0.0
+        used = 0.0
+        for value, count in scored:
+            take = min(count, budget - used)
+            acc += value * take
+            used += take
+            if used >= budget - 1e-12:
+                break
+        return acc / budget
+
+    def approximation_ratio(self, cut: float) -> float:
+        """AR = C / C_max (the paper's metric)."""
+        return float(cut) / self.maximum_cut()
+
+    def to_ising(self) -> IsingModel:
+        """Ising encoding whose energy is ``-cut``."""
+        return maxcut_to_ising(self.graph)
+
+    def __repr__(self) -> str:
+        return (
+            f"MaxCutProblem({self.num_nodes} nodes, "
+            f"{len(self.edges)} edges, max_cut="
+            f"{self.maximum_cut():g})"
+        )

@@ -1,0 +1,57 @@
+"""Pulse-level intermediate representation (Qiskit-Pulse-like).
+
+Waveform envelopes, transmission channels, timed instructions and
+schedules.  Durations are integer numbers of backend samples (``dt``);
+schedule timing aligns to :data:`repro.pulse.waveforms.TIMING_ALIGNMENT`
+samples and Gaussian-family envelopes to
+:data:`repro.pulse.waveforms.GAUSSIAN_GRANULARITY` samples, matching the
+constraint the paper's binary duration search steps over (32 dt).
+"""
+
+from repro.pulse.waveforms import (
+    GAUSSIAN_GRANULARITY,
+    TIMING_ALIGNMENT,
+    Constant,
+    Drag,
+    Gaussian,
+    GaussianSquare,
+    Waveform,
+)
+from repro.pulse.channels import (
+    AcquireChannel,
+    Channel,
+    ControlChannel,
+    DriveChannel,
+    MeasureChannel,
+)
+from repro.pulse.instructions import (
+    Acquire,
+    Delay,
+    Play,
+    SetFrequency,
+    ShiftFrequency,
+    ShiftPhase,
+)
+from repro.pulse.schedule import Schedule
+
+__all__ = [
+    "GAUSSIAN_GRANULARITY",
+    "TIMING_ALIGNMENT",
+    "Constant",
+    "Drag",
+    "Gaussian",
+    "GaussianSquare",
+    "Waveform",
+    "AcquireChannel",
+    "Channel",
+    "ControlChannel",
+    "DriveChannel",
+    "MeasureChannel",
+    "Acquire",
+    "Delay",
+    "Play",
+    "SetFrequency",
+    "ShiftFrequency",
+    "ShiftPhase",
+    "Schedule",
+]

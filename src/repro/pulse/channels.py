@@ -1,0 +1,65 @@
+"""Pulse transmission channels.
+
+Mirrors the IBM OpenPulse channel taxonomy described in the paper's
+background section: ``DriveChannel`` is the primary qubit channel,
+``ControlChannel`` exists for multi-qubit (cross-resonance) operations,
+``MeasureChannel`` carries readout stimulus pulses and ``AcquireChannel``
+collects the measured data.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PulseError
+
+
+class Channel:
+    """Base class: a channel type plus an integer index."""
+
+    prefix = "ch"
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        if not isinstance(index, (int,)) or index < 0:
+            raise PulseError(f"channel index must be a non-negative int, got {index!r}")
+        self.index = int(index)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.index == other.index
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.index))
+
+    def __lt__(self, other: "Channel") -> bool:
+        return (self.prefix, self.index) < (other.prefix, other.index)
+
+    def __repr__(self) -> str:
+        return f"{self.prefix}{self.index}"
+
+
+class DriveChannel(Channel):
+    """Primary drive line of a qubit (``d0``, ``d1``, ...)."""
+
+    prefix = "d"
+
+
+class ControlChannel(Channel):
+    """Cross-resonance control line for a directed qubit pair (``u0``...).
+
+    The mapping from index to (control, target) pair is owned by the
+    backend's :class:`~repro.backends.target.Target`.
+    """
+
+    prefix = "u"
+
+
+class MeasureChannel(Channel):
+    """Readout stimulus line of a qubit (``m0``...)."""
+
+    prefix = "m"
+
+
+class AcquireChannel(Channel):
+    """Digitiser/acquisition line of a qubit (``a0``...)."""
+
+    prefix = "a"

@@ -1,0 +1,172 @@
+"""Timed pulse instructions.
+
+Instructions carry no start time themselves; a :class:`~repro.pulse.
+schedule.Schedule` associates each instruction with its start sample.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.circuits.parameter import Parameter, ParameterExpression
+from repro.exceptions import PulseError
+from repro.pulse.channels import Channel
+from repro.pulse.waveforms import TIMING_ALIGNMENT, Waveform
+
+
+class PulseInstruction:
+    """Base class: an operation on one channel with a duration in samples."""
+
+    def __init__(self, channel: Channel, duration: int) -> None:
+        if not isinstance(channel, Channel):
+            raise PulseError(f"{channel!r} is not a Channel")
+        if duration < 0:
+            raise PulseError("instruction duration must be non-negative")
+        self.channel = channel
+        self.duration = int(duration)
+
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        return frozenset()
+
+    @property
+    def is_parameterized(self) -> bool:
+        return bool(self.parameters)
+
+    def assign_parameters(
+        self, values: Mapping[Parameter, float]
+    ) -> "PulseInstruction":
+        """Bind symbolic parameters; default instructions have none."""
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.channel}, dur={self.duration})"
+        )
+
+
+class Play(PulseInstruction):
+    """Emit a waveform on a channel."""
+
+    def __init__(self, waveform: Waveform, channel: Channel) -> None:
+        if not isinstance(waveform, Waveform):
+            raise PulseError(f"{waveform!r} is not a Waveform")
+        super().__init__(channel, waveform.duration)
+        self.waveform = waveform
+
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        return self.waveform.parameters
+
+    def assign_parameters(
+        self, values: Mapping[Parameter, float]
+    ) -> "Play":
+        if not self.parameters:
+            return self
+        return Play(self.waveform.assign_parameters(values), self.channel)
+
+    def __repr__(self) -> str:
+        return f"Play({self.waveform!r}, {self.channel})"
+
+
+class Delay(PulseInstruction):
+    """Idle a channel for ``duration`` samples."""
+
+    def __init__(self, duration: int, channel: Channel) -> None:
+        if duration % TIMING_ALIGNMENT:
+            raise PulseError(
+                f"delay of {duration} samples violates the "
+                f"{TIMING_ALIGNMENT}-sample alignment"
+            )
+        super().__init__(channel, duration)
+
+
+class ShiftPhase(PulseInstruction):
+    """Advance the frame phase of a channel (virtual-Z); zero duration."""
+
+    def __init__(
+        self, phase: "float | ParameterExpression", channel: Channel
+    ) -> None:
+        super().__init__(channel, 0)
+        self.phase = phase
+
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        if isinstance(self.phase, ParameterExpression):
+            return self.phase.parameters
+        return frozenset()
+
+    def assign_parameters(
+        self, values: Mapping[Parameter, float]
+    ) -> "ShiftPhase":
+        if not self.parameters:
+            return self
+        return ShiftPhase(self.phase.bind(values), self.channel)
+
+    def __repr__(self) -> str:
+        return f"ShiftPhase({self.phase!r}, {self.channel})"
+
+
+class SetFrequency(PulseInstruction):
+    """Set the channel carrier frequency (GHz); zero duration."""
+
+    def __init__(
+        self, frequency: "float | ParameterExpression", channel: Channel
+    ) -> None:
+        super().__init__(channel, 0)
+        self.frequency = frequency
+
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        if isinstance(self.frequency, ParameterExpression):
+            return self.frequency.parameters
+        return frozenset()
+
+    def assign_parameters(
+        self, values: Mapping[Parameter, float]
+    ) -> "SetFrequency":
+        if not self.parameters:
+            return self
+        return SetFrequency(self.frequency.bind(values), self.channel)
+
+    def __repr__(self) -> str:
+        return f"SetFrequency({self.frequency!r} GHz, {self.channel})"
+
+
+class ShiftFrequency(PulseInstruction):
+    """Shift the channel carrier frequency by a delta (GHz); zero duration.
+
+    This is the per-pulse flexible frequency modulation the paper
+    introduces (§IV-A2): the shift applies from this point of the schedule
+    onward on the given channel.  The hybrid model bounds the shift to
+    ±0.1 GHz (±100 MHz).
+    """
+
+    def __init__(
+        self, frequency: "float | ParameterExpression", channel: Channel
+    ) -> None:
+        super().__init__(channel, 0)
+        self.frequency = frequency
+
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        if isinstance(self.frequency, ParameterExpression):
+            return self.frequency.parameters
+        return frozenset()
+
+    def assign_parameters(
+        self, values: Mapping[Parameter, float]
+    ) -> "ShiftFrequency":
+        if not self.parameters:
+            return self
+        return ShiftFrequency(self.frequency.bind(values), self.channel)
+
+    def __repr__(self) -> str:
+        return f"ShiftFrequency({self.frequency!r} GHz, {self.channel})"
+
+
+class Acquire(PulseInstruction):
+    """Digitise a qubit's readout signal for ``duration`` samples."""
+
+    def __init__(self, duration: int, channel: Channel) -> None:
+        super().__init__(channel, duration)

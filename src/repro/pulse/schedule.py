@@ -1,0 +1,198 @@
+"""Pulse schedules: instructions placed on a common sample clock."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.circuits.parameter import Parameter
+from repro.exceptions import PulseError
+from repro.pulse.channels import Channel
+from repro.pulse.instructions import PulseInstruction
+from repro.pulse.waveforms import TIMING_ALIGNMENT
+
+
+class Schedule:
+    """An ordered set of ``(start_time, instruction)`` pairs.
+
+    Start times are in samples.  Instructions on the same channel must not
+    overlap; different channels are independent.  Schedules are mutable
+    builders but all composition methods return new objects.
+    """
+
+    def __init__(
+        self,
+        *timed_instructions: tuple[int, PulseInstruction],
+        name: str = "schedule",
+    ) -> None:
+        self.name = name
+        self._timed: list[tuple[int, PulseInstruction]] = []
+        for start, instruction in timed_instructions:
+            self.insert(start, instruction)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def insert(
+        self, start: int, instruction: PulseInstruction
+    ) -> "Schedule":
+        """Place ``instruction`` at absolute time ``start`` (in place)."""
+        start = int(start)
+        if start < 0:
+            raise PulseError("start time must be non-negative")
+        if start % TIMING_ALIGNMENT and instruction.duration > 0:
+            raise PulseError(
+                f"start {start} violates {TIMING_ALIGNMENT}-sample alignment"
+            )
+        stop = start + instruction.duration
+        if instruction.duration > 0:
+            for other_start, other in self._timed:
+                if other.channel != instruction.channel:
+                    continue
+                if other.duration == 0:
+                    continue
+                other_stop = other_start + other.duration
+                if start < other_stop and other_start < stop:
+                    raise PulseError(
+                        f"overlap on {instruction.channel}: "
+                        f"[{start},{stop}) vs [{other_start},{other_stop})"
+                    )
+        self._timed.append((start, instruction))
+        self._timed.sort(key=lambda pair: (pair[0], str(pair[1].channel)))
+        return self
+
+    def append(self, instruction: PulseInstruction) -> "Schedule":
+        """Append at the current stop time of the instruction's channel."""
+        start = self.channel_duration(instruction.channel)
+        if instruction.duration > 0 and start % TIMING_ALIGNMENT:
+            start += TIMING_ALIGNMENT - start % TIMING_ALIGNMENT
+        return self.insert(start, instruction)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def timed_instructions(self) -> list[tuple[int, PulseInstruction]]:
+        return list(self._timed)
+
+    @property
+    def duration(self) -> int:
+        """Total schedule length in samples."""
+        return max(
+            (start + inst.duration for start, inst in self._timed),
+            default=0,
+        )
+
+    @property
+    def channels(self) -> list[Channel]:
+        """Channels used, sorted."""
+        return sorted({inst.channel for _, inst in self._timed})
+
+    def channel_duration(self, channel: Channel) -> int:
+        """Stop time of the last instruction on ``channel``."""
+        return max(
+            (
+                start + inst.duration
+                for start, inst in self._timed
+                if inst.channel == channel
+            ),
+            default=0,
+        )
+
+    def channel_timeline(
+        self, channel: Channel
+    ) -> list[tuple[int, PulseInstruction]]:
+        """Time-ordered instructions on one channel."""
+        return [
+            (start, inst)
+            for start, inst in self._timed
+            if inst.channel == channel
+        ]
+
+    def filter(self, channels: Iterable[Channel]) -> "Schedule":
+        """Sub-schedule restricted to ``channels`` (times preserved)."""
+        wanted = set(channels)
+        out = Schedule(name=f"{self.name}_filtered")
+        for start, inst in self._timed:
+            if inst.channel in wanted:
+                out._timed.append((start, inst))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._timed)
+
+    def __iter__(self) -> Iterator[tuple[int, PulseInstruction]]:
+        return iter(self._timed)
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def shift(self, time: int) -> "Schedule":
+        """New schedule with every start time moved by ``time``."""
+        if time % TIMING_ALIGNMENT:
+            raise PulseError(
+                f"shift {time} violates {TIMING_ALIGNMENT}-sample alignment"
+            )
+        out = Schedule(name=self.name)
+        for start, inst in self._timed:
+            out._timed.append((start + time, inst))
+        out._timed.sort(key=lambda pair: (pair[0], str(pair[1].channel)))
+        return out
+
+    def union(self, other: "Schedule") -> "Schedule":
+        """Overlay two schedules on the same clock (must not collide)."""
+        out = Schedule(name=self.name)
+        out._timed = list(self._timed)
+        for start, inst in other._timed:
+            out.insert(start, inst)
+        return out
+
+    def __or__(self, other: "Schedule") -> "Schedule":
+        return self.union(other)
+
+    def then(self, other: "Schedule") -> "Schedule":
+        """Sequential composition: ``other`` starts after self ends."""
+        offset = self.duration
+        if offset % TIMING_ALIGNMENT:
+            offset += TIMING_ALIGNMENT - offset % TIMING_ALIGNMENT
+        return self.union(other.shift(offset))
+
+    def __add__(self, other: "Schedule") -> "Schedule":
+        return self.then(other)
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        out: set[Parameter] = set()
+        for _, inst in self._timed:
+            out |= inst.parameters
+        return frozenset(out)
+
+    @property
+    def is_parameterized(self) -> bool:
+        return bool(self.parameters)
+
+    def assign_parameters(
+        self, values: Mapping[Parameter, float] | Sequence[float]
+    ) -> "Schedule":
+        """Bind parameter values (mapping, or sequence in sorted-name order)."""
+        if not isinstance(values, Mapping):
+            params = sorted(self.parameters, key=lambda p: (p.name, id(p)))
+            values = list(values)
+            if len(values) != len(params):
+                raise PulseError(
+                    f"expected {len(params)} values, got {len(values)}"
+                )
+            values = dict(zip(params, values))
+        out = Schedule(name=self.name)
+        for start, inst in self._timed:
+            out._timed.append((start, inst.assign_parameters(values)))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({self.name!r}, duration={self.duration}, "
+            f"{len(self._timed)} instructions on "
+            f"{len(self.channels)} channels)"
+        )

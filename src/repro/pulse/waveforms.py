@@ -1,0 +1,281 @@
+"""Parametric pulse envelopes.
+
+Each waveform describes a complex baseband envelope ``f(t)`` sampled at the
+backend clock.  Amplitudes are dimensionless and constrained to
+``|amp| <= 1`` (the hardware DAC limit the paper cites as the amplitude
+boundary of the hybrid model's parameter space); the physical Rabi rate is
+``drive_strength * amp`` with ``drive_strength`` owned by the backend
+model.
+
+``amp`` and ``angle`` may be symbolic :class:`~repro.circuits.parameter.
+ParameterExpression` objects; :meth:`Waveform.assign_parameters` binds
+them.  Durations are always concrete integers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.circuits.parameter import Parameter, ParameterExpression, value_of
+from repro.exceptions import PulseError
+
+#: all schedule/pulse durations must be a multiple of this many samples
+TIMING_ALIGNMENT = 16
+#: Gaussian-family pulse durations must be a multiple of this many samples
+#: (the "multiple of 32 dt" restriction the paper's binary search steps on)
+GAUSSIAN_GRANULARITY = 32
+
+
+def _check_duration(duration: int, granularity: int) -> int:
+    if isinstance(duration, bool) or not isinstance(duration, (int, np.integer)):
+        raise PulseError(f"duration must be an int, got {duration!r}")
+    duration = int(duration)
+    if duration <= 0:
+        raise PulseError("duration must be positive")
+    if duration % granularity:
+        raise PulseError(
+            f"duration {duration} is not a multiple of {granularity} samples"
+        )
+    return duration
+
+
+def _validate_amp(amp: "float | ParameterExpression") -> None:
+    if isinstance(amp, ParameterExpression):
+        return
+    if abs(amp) > 1.0 + 1e-12:
+        raise PulseError(f"|amp|={abs(amp):.4f} exceeds the hardware limit 1.0")
+
+
+class Waveform:
+    """Base class for pulse envelopes."""
+
+    name = "waveform"
+
+    def __init__(
+        self,
+        duration: int,
+        amp: "float | ParameterExpression",
+        angle: "float | ParameterExpression" = 0.0,
+        granularity: int = TIMING_ALIGNMENT,
+    ) -> None:
+        self.duration = _check_duration(duration, granularity)
+        _validate_amp(amp)
+        self.amp = amp
+        self.angle = angle
+
+    # -- parameters --------------------------------------------------------
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        out: set[Parameter] = set()
+        for value in self._parameter_values():
+            if isinstance(value, ParameterExpression):
+                out |= value.parameters
+        return frozenset(out)
+
+    def _parameter_values(self) -> tuple:
+        return (self.amp, self.angle)
+
+    @property
+    def is_parameterized(self) -> bool:
+        return bool(self.parameters)
+
+    def assign_parameters(
+        self, values: Mapping[Parameter, float]
+    ) -> "Waveform":
+        """Return a copy with parameters bound (possibly still partial)."""
+        clone = object.__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        for attr in ("amp", "angle", "beta"):
+            current = getattr(clone, attr, None)
+            if isinstance(current, ParameterExpression):
+                bound = current.bind(values)
+                if attr == "amp" and isinstance(bound, float):
+                    _validate_amp(bound)
+                setattr(clone, attr, bound)
+        return clone
+
+    # -- numerics ------------------------------------------------------------
+    def _bound_amp(self) -> complex:
+        amp = value_of(self.amp)
+        _validate_amp(amp)
+        angle = value_of(self.angle)
+        return amp * np.exp(1j * angle)
+
+    def envelope(self, times: np.ndarray) -> np.ndarray:
+        """Complex envelope at sample times (0 .. duration)."""
+        raise NotImplementedError
+
+    def samples(self) -> np.ndarray:
+        """Complex envelope sampled at the midpoints of each dt bin."""
+        times = np.arange(self.duration) + 0.5
+        return self.envelope(times)
+
+    def area(self) -> complex:
+        """Integral of the envelope over the pulse (in samples)."""
+        return complex(np.sum(self.samples()))
+
+    def max_amplitude(self) -> float:
+        """Peak |envelope|."""
+        return float(np.max(np.abs(self.samples())))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(duration={self.duration}, "
+            f"amp={self.amp!r}, angle={self.angle!r})"
+        )
+
+
+class Constant(Waveform):
+    """Flat envelope: ``amp * exp(i angle)`` for the whole duration."""
+
+    name = "constant"
+
+    def envelope(self, times: np.ndarray) -> np.ndarray:
+        amp = self._bound_amp()
+        return np.full(len(times), amp, dtype=complex)
+
+
+class Gaussian(Waveform):
+    """Lifted Gaussian envelope.
+
+    The raw Gaussian is shifted and rescaled so the envelope starts and
+    ends at exactly zero (Qiskit's convention), avoiding spectral leakage
+    from truncation steps::
+
+        f(t) = amp * (g(t) - g(-1)) / (1 - g(-1)),
+        g(t) = exp(-(t - duration/2)^2 / (2 sigma^2))
+    """
+
+    name = "gaussian"
+
+    def __init__(
+        self,
+        duration: int,
+        amp: "float | ParameterExpression",
+        sigma: float,
+        angle: "float | ParameterExpression" = 0.0,
+    ) -> None:
+        super().__init__(
+            duration, amp, angle, granularity=GAUSSIAN_GRANULARITY
+        )
+        if sigma <= 0:
+            raise PulseError("sigma must be positive")
+        self.sigma = float(sigma)
+
+    def envelope(self, times: np.ndarray) -> np.ndarray:
+        amp = self._bound_amp()
+        center = self.duration / 2
+        gauss = np.exp(-((times - center) ** 2) / (2 * self.sigma**2))
+        edge = math.exp(-((0 - 1 - center) ** 2) / (2 * self.sigma**2))
+        lifted = (gauss - edge) / (1 - edge)
+        return amp * np.clip(lifted, 0.0, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"Gaussian(duration={self.duration}, amp={self.amp!r}, "
+            f"sigma={self.sigma:g}, angle={self.angle!r})"
+        )
+
+
+class GaussianSquare(Waveform):
+    """Flat-top pulse with Gaussian rise and fall.
+
+    ``width`` is the flat-top length; the rise and fall each take
+    ``(duration - width) / 2`` samples of a lifted-Gaussian edge with the
+    given ``sigma``.  This is the canonical cross-resonance envelope.
+    """
+
+    name = "gaussian_square"
+
+    def __init__(
+        self,
+        duration: int,
+        amp: "float | ParameterExpression",
+        sigma: float,
+        width: float,
+        angle: "float | ParameterExpression" = 0.0,
+    ) -> None:
+        super().__init__(duration, amp, angle, granularity=TIMING_ALIGNMENT)
+        if sigma <= 0:
+            raise PulseError("sigma must be positive")
+        if width < 0 or width > duration:
+            raise PulseError(
+                f"width {width} out of range [0, duration={duration}]"
+            )
+        self.sigma = float(sigma)
+        self.width = float(width)
+
+    def envelope(self, times: np.ndarray) -> np.ndarray:
+        amp = self._bound_amp()
+        ramp = (self.duration - self.width) / 2
+        rise_center = ramp
+        fall_center = self.duration - ramp
+        out = np.ones(len(times), dtype=float)
+        edge = math.exp(-((0 - 1 - rise_center) ** 2) / (2 * self.sigma**2))
+        rising = times < rise_center
+        falling = times > fall_center
+        gauss_rise = np.exp(
+            -((times[rising] - rise_center) ** 2) / (2 * self.sigma**2)
+        )
+        gauss_fall = np.exp(
+            -((times[falling] - fall_center) ** 2) / (2 * self.sigma**2)
+        )
+        out[rising] = np.clip((gauss_rise - edge) / (1 - edge), 0.0, None)
+        out[falling] = np.clip((gauss_fall - edge) / (1 - edge), 0.0, None)
+        return amp * out
+
+    def __repr__(self) -> str:
+        return (
+            f"GaussianSquare(duration={self.duration}, amp={self.amp!r}, "
+            f"sigma={self.sigma:g}, width={self.width:g}, "
+            f"angle={self.angle!r})"
+        )
+
+
+class Drag(Waveform):
+    """DRAG pulse: Gaussian with a derivative quadrature correction.
+
+    ``f(t) = G(t) + i * beta * dG/dt`` suppresses leakage to the second
+    excited state of the transmon; ``beta`` is the DRAG coefficient.
+    """
+
+    name = "drag"
+
+    def __init__(
+        self,
+        duration: int,
+        amp: "float | ParameterExpression",
+        sigma: float,
+        beta: "float | ParameterExpression",
+        angle: "float | ParameterExpression" = 0.0,
+    ) -> None:
+        super().__init__(
+            duration, amp, angle, granularity=GAUSSIAN_GRANULARITY
+        )
+        if sigma <= 0:
+            raise PulseError("sigma must be positive")
+        self.sigma = float(sigma)
+        self.beta = beta
+
+    def _parameter_values(self) -> tuple:
+        return (self.amp, self.angle, self.beta)
+
+    def envelope(self, times: np.ndarray) -> np.ndarray:
+        amp = self._bound_amp()
+        beta = value_of(self.beta)
+        center = self.duration / 2
+        gauss = np.exp(-((times - center) ** 2) / (2 * self.sigma**2))
+        edge = math.exp(-((0 - 1 - center) ** 2) / (2 * self.sigma**2))
+        lifted = np.clip((gauss - edge) / (1 - edge), 0.0, None)
+        derivative = -(times - center) / self.sigma**2 * gauss / (1 - edge)
+        return amp * (lifted + 1j * beta * derivative)
+
+    def __repr__(self) -> str:
+        return (
+            f"Drag(duration={self.duration}, amp={self.amp!r}, "
+            f"sigma={self.sigma:g}, beta={self.beta!r}, "
+            f"angle={self.angle!r})"
+        )

@@ -1,0 +1,35 @@
+"""Pulse-schedule simulation: propagators, frames and calibration."""
+
+from repro.pulsesim.solver import (
+    cr_pair_propagator,
+    drive_channel_propagator,
+    schedule_drive_unitaries,
+    su2_propagator,
+)
+from repro.pulsesim.dense import dense_schedule_propagator
+from repro.pulsesim.calibration import (
+    CRCalibration,
+    GateCalibration,
+    calibrate_cr,
+    calibrate_rotation,
+    calibrate_sx,
+    calibrate_x,
+    cx_unitary_from_cr,
+    rzx_unitary,
+)
+
+__all__ = [
+    "cr_pair_propagator",
+    "drive_channel_propagator",
+    "schedule_drive_unitaries",
+    "su2_propagator",
+    "dense_schedule_propagator",
+    "CRCalibration",
+    "GateCalibration",
+    "calibrate_cr",
+    "calibrate_rotation",
+    "calibrate_sx",
+    "calibrate_x",
+    "cx_unitary_from_cr",
+    "rzx_unitary",
+]

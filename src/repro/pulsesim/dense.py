@@ -1,0 +1,208 @@
+"""Reference dense pulse solver.
+
+Simulates an arbitrary schedule (drive and control channels, phase and
+frequency instructions) on the full Hilbert space of the participating
+qubits, in each qubit's own rotating frame.  Exchange couplings and
+off-resonant drives appear as explicitly time-dependent terms evaluated at
+sub-sample midpoints, so accuracy is controlled by ``substeps``.
+
+This solver is O(substeps * duration * 8**n) and exists as ground truth
+for the fast paths in :mod:`repro.pulsesim.solver`; production code paths
+never call it on more than a handful of qubits.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulatorError
+from repro.hamiltonian.system import DeviceModel
+from repro.pulse.channels import (
+    AcquireChannel,
+    ControlChannel,
+    DriveChannel,
+    MeasureChannel,
+)
+from repro.pulse.instructions import (
+    Delay,
+    Play,
+    SetFrequency,
+    ShiftFrequency,
+    ShiftPhase,
+)
+from repro.pulse.schedule import Schedule
+from repro.utils.linalg import embed_matrix
+
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_SP = np.array([[0, 0], [1, 0]], dtype=complex)  # raising
+_SM = np.array([[0, 1], [0, 0]], dtype=complex)  # lowering
+
+
+class _ActivePulse:
+    """A Play instruction unpacked for fast per-sample lookup."""
+
+    __slots__ = ("start", "samples", "qubit", "omega_drive", "phase", "gain")
+
+    def __init__(self, start, samples, qubit, omega_drive, phase, gain):
+        self.start = start
+        self.samples = samples
+        self.qubit = qubit
+        self.omega_drive = omega_drive
+        self.phase = phase
+        self.gain = gain
+
+
+def dense_schedule_propagator(
+    schedule: Schedule,
+    device: DeviceModel,
+    qubits: Sequence[int] | None = None,
+    include_stark: bool = True,
+    substeps: int = 4,
+) -> np.ndarray:
+    """Full-space propagator of ``schedule`` in the qubits' own frames.
+
+    ``qubits`` selects and orders the participating device qubits (qubit
+    ``qubits[0]`` is the LSB of the returned unitary); by default every
+    qubit referenced by the schedule's channels participates, in sorted
+    order.
+    """
+    if substeps < 1:
+        raise SimulatorError("substeps must be >= 1")
+    if qubits is None:
+        qubits = _referenced_qubits(schedule, device)
+    qubits = list(qubits)
+    index_of = {q: i for i, q in enumerate(qubits)}
+    n = len(qubits)
+    dt = device.dt
+
+    # unpack channel frames and Play instructions in time order
+    frames: dict[object, tuple[float, float]] = {}
+
+    def frame_of(channel) -> tuple[float, float]:
+        return frames.get(channel, (0.0, 0.0))
+
+    pulses: list[_ActivePulse] = []
+    for start, instruction in schedule.timed_instructions:
+        channel = instruction.channel
+        if isinstance(channel, (MeasureChannel, AcquireChannel)):
+            continue
+        if isinstance(instruction, ShiftPhase):
+            phase, shift = frame_of(channel)
+            frames[channel] = (phase + float(instruction.phase), shift)
+            continue
+        if isinstance(instruction, ShiftFrequency):
+            phase, shift = frame_of(channel)
+            frames[channel] = (
+                phase,
+                shift + 2 * math.pi * float(instruction.frequency),
+            )
+            continue
+        if isinstance(instruction, SetFrequency):
+            raise SimulatorError(
+                "dense solver supports ShiftFrequency, not SetFrequency"
+            )
+        if isinstance(instruction, Delay):
+            continue
+        if not isinstance(instruction, Play):
+            raise SimulatorError(f"unsupported instruction {instruction!r}")
+        phase, shift = frame_of(channel)
+        if isinstance(channel, DriveChannel):
+            qubit = channel.index
+            omega_drive = device.qubits[qubit].omega + shift
+        elif isinstance(channel, ControlChannel):
+            control, target = device.control_channel_pair(channel.index)
+            qubit = control
+            omega_drive = device.qubits[target].omega + shift
+        else:
+            raise SimulatorError(f"unknown channel type {channel!r}")
+        if qubit not in index_of:
+            raise SimulatorError(
+                f"schedule drives qubit {qubit} outside {qubits}"
+            )
+        gain = 2 * math.pi * device.qubits[qubit].drive_strength
+        pulses.append(
+            _ActivePulse(
+                start,
+                instruction.waveform.samples(),
+                qubit,
+                omega_drive,
+                phase,
+                gain,
+            )
+        )
+
+    # static operator pieces, embedded once
+    x_ops = [embed_matrix(_X, [index_of[q]], n) for q in qubits]
+    y_ops = [embed_matrix(_Y, [index_of[q]], n) for q in qubits]
+    z_ops = [embed_matrix(_Z, [index_of[q]], n) for q in qubits]
+    exchange: list[tuple[int, int, float, np.ndarray]] = []
+    for i, j in device.coupled_pairs():
+        if i in index_of and j in index_of:
+            coupling = 2 * math.pi * device.coupling_strength(i, j)
+            flip = embed_matrix(
+                np.kron(_SM, _SP), [index_of[i], index_of[j]], n
+            )  # sigma+_i sigma-_j
+            exchange.append((i, j, coupling, flip))
+
+    duration = schedule.duration
+    dim = 1 << n
+    unitary = np.eye(dim, dtype=complex)
+    sub_dt = dt / substeps
+    for k in range(duration):
+        active = [
+            p for p in pulses if p.start <= k < p.start + len(p.samples)
+        ]
+        if not active and not exchange:
+            continue
+        for sub in range(substeps):
+            t = (k + (sub + 0.5) / substeps) * dt
+            hamiltonian = np.zeros((dim, dim), dtype=complex)
+            for i, j, coupling, flip in exchange:
+                # J/2 (XX + YY) == J (sigma+_i sigma-_j + h.c.)
+                delta_ij = device.qubits[i].omega - device.qubits[j].omega
+                rotating = flip * np.exp(-1j * delta_ij * t)
+                hamiltonian += coupling * (rotating + rotating.conj().T)
+            for p in active:
+                envelope = p.samples[k - p.start]
+                qi = index_of[p.qubit]
+                omega_q = device.qubits[p.qubit].omega
+                detuning = p.omega_drive - omega_q
+                rotated = (
+                    p.gain
+                    * envelope
+                    * np.exp(1j * (p.phase + detuning * t))
+                )
+                hamiltonian += rotated.real / 2 * x_ops[qi]
+                hamiltonian += rotated.imag / 2 * y_ops[qi]
+                if include_stark:
+                    rabi_abs = p.gain * abs(envelope)
+                    if abs(detuning) < 1e-9:
+                        # resonant drive: Duffing-induced shift
+                        stark = rabi_abs**2 / (
+                            2 * device.qubits[p.qubit].alpha
+                        )
+                    else:
+                        # off-resonant drive: level repulsion by detuning
+                        stark = rabi_abs**2 / (2 * detuning)
+                    hamiltonian += -stark / 2 * z_ops[qi]
+            eigvals, eigvecs = np.linalg.eigh(hamiltonian)
+            step = (eigvecs * np.exp(-1j * sub_dt * eigvals)) @ eigvecs.conj().T
+            unitary = step @ unitary
+    return unitary
+
+
+def _referenced_qubits(schedule: Schedule, device: DeviceModel) -> list[int]:
+    out: set[int] = set()
+    for channel in schedule.channels:
+        if isinstance(channel, DriveChannel):
+            out.add(channel.index)
+        elif isinstance(channel, ControlChannel):
+            control, target = device.control_channel_pair(channel.index)
+            out.add(control)
+            out.add(target)
+    return sorted(out)

@@ -1,0 +1,20 @@
+"""Gate-level simulators: statevector, unitary, and density matrix."""
+
+from repro.simulators.statevector import Statevector, simulate_statevector
+from repro.simulators.unitary import circuit_to_unitary
+from repro.simulators.density_matrix import DensityMatrix
+from repro.simulators.sampler import (
+    counts_to_probabilities,
+    probabilities_to_counts,
+    sample_counts,
+)
+
+__all__ = [
+    "Statevector",
+    "simulate_statevector",
+    "circuit_to_unitary",
+    "DensityMatrix",
+    "counts_to_probabilities",
+    "probabilities_to_counts",
+    "sample_counts",
+]

@@ -1,0 +1,162 @@
+"""Mixed-state simulation.
+
+:class:`DensityMatrix` supports unitary evolution, Kraus-channel
+application on subsets of qubits, measurement statistics, purity and
+fidelity queries.  It is the workhorse of the noisy backend: at the paper's
+problem sizes (6-8 qubits) exact density-matrix evolution is fast and free
+of sampling noise in the *state* (shot noise is added at measurement time).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulatorError
+from repro.simulators.statevector import Statevector
+from repro.utils.bitstrings import index_to_bitstring
+from repro.utils.linalg import partial_trace
+from repro.utils.rng import as_generator
+
+
+class DensityMatrix:
+    """A density operator on ``num_qubits`` qubits (little-endian)."""
+
+    def __init__(self, data: np.ndarray | int | Statevector) -> None:
+        if isinstance(data, Statevector):
+            vec = data.data
+            self.data = np.outer(vec, vec.conj())
+        elif isinstance(data, (int, np.integer)):
+            dim = 1 << int(data)
+            self.data = np.zeros((dim, dim), dtype=complex)
+            self.data[0, 0] = 1.0
+        else:
+            mat = np.asarray(data, dtype=complex)
+            dim = mat.shape[0]
+            if mat.shape != (dim, dim) or dim & (dim - 1):
+                raise SimulatorError(f"bad density matrix shape {mat.shape}")
+            self.data = mat.copy()
+        self.num_qubits = self.data.shape[0].bit_length() - 1
+
+    @classmethod
+    def from_label(cls, label: str) -> "DensityMatrix":
+        return cls(Statevector.from_label(label))
+
+    def copy(self) -> "DensityMatrix":
+        return DensityMatrix(self.data)
+
+    # ------------------------------------------------------------------
+    def _reshaped_apply(
+        self, matrix: np.ndarray, qubits: Sequence[int], side: str
+    ) -> None:
+        """Apply ``matrix`` to row (side='L') or its conjugate to column
+        (side='R') indices of the density tensor."""
+        n = self.num_qubits
+        k = len(qubits)
+        tensor = self.data.reshape([2] * (2 * n))
+        if side == "L":
+            axes = [n - 1 - q for q in qubits]
+            mat = matrix
+        else:
+            axes = [2 * n - 1 - q for q in qubits]
+            mat = matrix.conj()
+        order = list(reversed(axes))
+        tensor = np.moveaxis(tensor, order, range(k))
+        shape = tensor.shape
+        tensor = mat @ tensor.reshape(1 << k, -1)
+        tensor = tensor.reshape(shape)
+        tensor = np.moveaxis(tensor, range(k), order)
+        self.data = tensor.reshape(1 << n, 1 << n)
+
+    def apply_unitary(
+        self, matrix: np.ndarray, qubits: Sequence[int]
+    ) -> "DensityMatrix":
+        """rho -> U rho U† on ``qubits`` (in place); returns self."""
+        matrix = np.asarray(matrix, dtype=complex)
+        self._reshaped_apply(matrix, qubits, "L")
+        self._reshaped_apply(matrix, qubits, "R")
+        return self
+
+    def apply_kraus(
+        self, kraus_ops: Sequence[np.ndarray], qubits: Sequence[int]
+    ) -> "DensityMatrix":
+        """rho -> sum_k K_k rho K_k† on ``qubits`` (in place)."""
+        original = self.data
+        acc = np.zeros_like(original)
+        for op in kraus_ops:
+            self.data = original
+            self._reshaped_apply(np.asarray(op, dtype=complex), qubits, "L")
+            self._reshaped_apply(np.asarray(op, dtype=complex), qubits, "R")
+            acc = acc + self.data
+        self.data = acc
+        return self
+
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Diagonal of rho, clipped to remove numerical negatives."""
+        probs = np.real(np.diag(self.data)).copy()
+        probs[probs < 0] = 0.0
+        total = probs.sum()
+        if total <= 0:
+            raise SimulatorError("density matrix has zero trace")
+        return probs / total
+
+    def probability_dict(self, atol: float = 1e-12) -> dict[str, float]:
+        probs = self.probabilities()
+        return {
+            index_to_bitstring(i, self.num_qubits): float(p)
+            for i, p in enumerate(probs)
+            if p > atol
+        }
+
+    def expectation_diagonal(self, diagonal: np.ndarray) -> float:
+        """Expectation of a diagonal observable given its diagonal."""
+        diagonal = np.asarray(diagonal, dtype=float)
+        if diagonal.size != self.data.shape[0]:
+            raise SimulatorError("diagonal length mismatch")
+        return float(np.real(np.diag(self.data)) @ diagonal)
+
+    def expectation_value(self, operator: np.ndarray) -> complex:
+        """Tr(rho O) for a full-system operator."""
+        operator = np.asarray(operator, dtype=complex)
+        return complex(np.trace(self.data @ operator))
+
+    def purity(self) -> float:
+        """Tr(rho²)."""
+        return float(np.real(np.trace(self.data @ self.data)))
+
+    def trace(self) -> float:
+        return float(np.real(np.trace(self.data)))
+
+    def fidelity_with_state(self, state: Statevector) -> float:
+        """<psi|rho|psi> against a pure reference state."""
+        vec = state.data
+        return float(np.real(np.vdot(vec, self.data @ vec)))
+
+    def reduce(self, keep: Sequence[int]) -> "DensityMatrix":
+        """Partial trace keeping ``keep`` qubits."""
+        return DensityMatrix(
+            partial_trace(self.data, keep, self.num_qubits)
+        )
+
+    def sample_counts(
+        self,
+        shots: int,
+        seed: int | None | np.random.Generator = None,
+    ) -> dict[str, int]:
+        """Sample ``shots`` computational-basis outcomes."""
+        rng = as_generator(seed)
+        probs = self.probabilities()
+        outcomes = rng.multinomial(shots, probs)
+        return {
+            index_to_bitstring(i, self.num_qubits): int(c)
+            for i, c in enumerate(outcomes)
+            if c
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DensityMatrix({self.num_qubits} qubits, "
+            f"purity={self.purity():.6f})"
+        )

@@ -1,0 +1,67 @@
+"""Shot sampling and counts/probability conversions."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.exceptions import SimulatorError
+from repro.utils.bitstrings import bitstring_to_index, index_to_bitstring
+from repro.utils.rng import as_generator
+
+
+def sample_counts(
+    probabilities: np.ndarray,
+    shots: int,
+    seed: int | None | np.random.Generator = None,
+) -> dict[str, int]:
+    """Draw ``shots`` multinomial samples from a probability vector."""
+    if shots < 0:
+        raise SimulatorError("shots must be non-negative")
+    probs = np.asarray(probabilities, dtype=float)
+    size = probs.size
+    if size & (size - 1):
+        raise SimulatorError(f"probability length {size} is not 2**n")
+    if np.any(probs < -1e-9):
+        raise SimulatorError("negative probabilities")
+    probs = np.clip(probs, 0.0, None)
+    total = probs.sum()
+    if total <= 0:
+        raise SimulatorError("probabilities sum to zero")
+    probs = probs / total
+    num_bits = size.bit_length() - 1
+    rng = as_generator(seed)
+    outcomes = rng.multinomial(shots, probs)
+    return {
+        index_to_bitstring(i, num_bits): int(c)
+        for i, c in enumerate(outcomes)
+        if c
+    }
+
+
+def counts_to_probabilities(
+    counts: Mapping[str, int | float],
+) -> dict[str, float]:
+    """Normalise counts into a quasi-probability dict (keys preserved)."""
+    total = float(sum(counts.values()))
+    if total == 0:
+        raise SimulatorError("empty counts")
+    return {key: value / total for key, value in counts.items()}
+
+
+def probabilities_to_counts(
+    probabilities: Mapping[str, float], shots: int
+) -> dict[str, float]:
+    """Scale a probability dict into expected counts (floats)."""
+    return {key: value * shots for key, value in probabilities.items()}
+
+
+def counts_to_vector(
+    counts: Mapping[str, int | float], num_bits: int
+) -> np.ndarray:
+    """Counts dict -> dense vector indexed by basis state."""
+    out = np.zeros(1 << num_bits, dtype=float)
+    for key, value in counts.items():
+        out[bitstring_to_index(key)] += float(value)
+    return out

@@ -1,0 +1,43 @@
+"""Exact unitary of a (measurement-free) circuit."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Barrier, Delay, Instruction, Measure
+from repro.exceptions import SimulatorError
+from repro.utils.linalg import embed_matrix
+
+
+def circuit_to_unitary(
+    circuit: QuantumCircuit,
+    unitary_provider: Callable[[Instruction], np.ndarray] | None = None,
+) -> np.ndarray:
+    """Dense unitary of ``circuit`` (O(4**n); intended for small circuits).
+
+    Raises :class:`SimulatorError` if the circuit contains measurements.
+    """
+    dim = 1 << circuit.num_qubits
+    out = np.eye(dim, dtype=complex)
+    for inst in circuit.instructions:
+        op = inst.operation
+        if isinstance(op, Measure):
+            raise SimulatorError("circuit with measurements has no unitary")
+        if isinstance(op, (Barrier, Delay)):
+            continue
+        try:
+            matrix = op.matrix()
+        except Exception:
+            if unitary_provider is None:
+                raise SimulatorError(
+                    f"no unitary available for {op!r}; pass unitary_provider"
+                ) from None
+            matrix = unitary_provider(op)
+        full = embed_matrix(matrix, inst.qubits, circuit.num_qubits)
+        out = full @ out
+    if circuit.global_phase:
+        out = out * np.exp(1j * circuit.global_phase)
+    return out

@@ -1,0 +1,113 @@
+"""Physical qubit connectivity."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+from repro.exceptions import TranspilerError
+
+
+class CouplingMap:
+    """Undirected qubit connectivity graph with cached distances."""
+
+    def __init__(self, edges: Iterable[tuple[int, int]], num_qubits: int | None = None) -> None:
+        edge_list = [(int(a), int(b)) for a, b in edges]
+        for a, b in edge_list:
+            if a == b:
+                raise TranspilerError(f"self-edge on qubit {a}")
+        inferred = max((max(e) for e in edge_list), default=-1) + 1
+        self.num_qubits = int(num_qubits) if num_qubits is not None else inferred
+        if self.num_qubits < inferred:
+            raise TranspilerError(
+                f"num_qubits={num_qubits} too small for edges up to {inferred - 1}"
+            )
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(self.num_qubits))
+        self.graph.add_edges_from(edge_list)
+        self._distance: dict[int, dict[int, int]] | None = None
+
+    @classmethod
+    def from_line(cls, num_qubits: int) -> "CouplingMap":
+        """Linear chain 0-1-2-...-n."""
+        return cls([(i, i + 1) for i in range(num_qubits - 1)], num_qubits)
+
+    @classmethod
+    def from_ring(cls, num_qubits: int) -> "CouplingMap":
+        """Cycle 0-1-...-n-0."""
+        edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+        return cls(edges, num_qubits)
+
+    @classmethod
+    def from_grid(cls, rows: int, cols: int) -> "CouplingMap":
+        """Rectangular lattice."""
+        edges = []
+        for r in range(rows):
+            for c in range(cols):
+                q = r * cols + c
+                if c + 1 < cols:
+                    edges.append((q, q + 1))
+                if r + 1 < rows:
+                    edges.append((q, q + cols))
+        return cls(edges, rows * cols)
+
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        return sorted(tuple(sorted(e)) for e in self.graph.edges)
+
+    def neighbors(self, qubit: int) -> list[int]:
+        return sorted(self.graph.neighbors(qubit))
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def degree(self, qubit: int) -> int:
+        return self.graph.degree(qubit)
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.graph)
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path distance in edges."""
+        if self._distance is None:
+            self._distance = {
+                src: dict(lengths)
+                for src, lengths in nx.all_pairs_shortest_path_length(
+                    self.graph
+                )
+            }
+        try:
+            return self._distance[a][b]
+        except KeyError as exc:
+            raise TranspilerError(
+                f"qubits {a} and {b} are not connected"
+            ) from exc
+
+    def shortest_path(self, a: int, b: int) -> list[int]:
+        return nx.shortest_path(self.graph, a, b)
+
+    def connected_subgraphs(self, size: int) -> list[tuple[int, ...]]:
+        """All connected qubit subsets of a given size (small sizes only)."""
+        if size > 12:
+            raise TranspilerError("subgraph enumeration capped at size 12")
+        found: set[tuple[int, ...]] = set()
+        frontier = {(q,) for q in range(self.num_qubits)}
+        for _ in range(size - 1):
+            next_frontier = set()
+            for subset in frontier:
+                nodes = set(subset)
+                for q in subset:
+                    for nb in self.graph.neighbors(q):
+                        if nb not in nodes:
+                            next_frontier.add(tuple(sorted(nodes | {nb})))
+            frontier = next_frontier
+        found = frontier
+        return sorted(found)
+
+    def __repr__(self) -> str:
+        return (
+            f"CouplingMap({self.num_qubits} qubits, "
+            f"{self.graph.number_of_edges()} edges)"
+        )

@@ -1,0 +1,284 @@
+"""Translation into the native basis {rz, sx, x, cx}.
+
+Single-qubit gates lower through the algebraic identity::
+
+    U3(theta, phi, lam) = e^{i((phi+lam)/2 + pi/2)}
+                          RZ(phi+pi) . SX . RZ(theta+pi) . SX . RZ(lam)
+
+which works for *symbolic* angles too (the paper's parametrised QAOA
+circuits stay parametric through transpilation).  RZ is virtual (zero
+duration, exact) on cross-resonance hardware, so the pulse cost of any
+1-qubit gate is exactly two SX pulses — the origin of the 320 dt
+"raw mixer duration" the paper reports for the gate-level QAOA mixer.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import CircuitInstruction, QuantumCircuit
+from repro.circuits.gates import (
+    Barrier,
+    Delay,
+    Gate,
+    Instruction,
+    Measure,
+    PulseGate,
+    StandardGate,
+    standard_gate,
+)
+from repro.circuits.parameter import ParameterExpression
+from repro.exceptions import TranspilerError
+
+DEFAULT_BASIS = frozenset({"rz", "sx", "x", "cx"})
+
+
+def u3_angles_from_matrix(matrix: np.ndarray) -> tuple[float, float, float, float]:
+    """(theta, phi, lam, global_phase) of an arbitrary 2x2 unitary."""
+    matrix = np.asarray(matrix, dtype=complex)
+    det = np.linalg.det(matrix)
+    su2 = matrix / cmath.sqrt(det)
+    phase = cmath.phase(cmath.sqrt(det))
+    theta = 2 * math.atan2(abs(su2[1, 0]), abs(su2[0, 0]))
+    if abs(su2[0, 0]) < 1e-12:
+        # pure off-diagonal: only phi - lam is defined
+        phi_plus_lam = 0.0
+        phi_minus_lam = 2 * cmath.phase(su2[1, 0])
+    elif abs(su2[1, 0]) < 1e-12:
+        phi_plus_lam = 2 * cmath.phase(su2[1, 1])
+        phi_minus_lam = 0.0
+    else:
+        phi_plus_lam = 2 * cmath.phase(su2[1, 1])
+        phi_minus_lam = 2 * cmath.phase(su2[1, 0] / su2[1, 1]) + phi_plus_lam
+        # recompute consistently
+        phi = cmath.phase(su2[1, 0]) + cmath.phase(su2[1, 1])
+        lam = cmath.phase(su2[1, 1]) - cmath.phase(su2[1, 0])
+        phi_plus_lam = phi + lam
+        phi_minus_lam = phi - lam
+    phi = (phi_plus_lam + phi_minus_lam) / 2
+    lam = (phi_plus_lam - phi_minus_lam) / 2
+    # U3 convention: U[0,0] = cos(theta/2) (real, positive); fold the
+    # residual phase of su2[0,0] into the global phase
+    if abs(su2[0, 0]) > 1e-12:
+        extra = cmath.phase(su2[0, 0] / math.cos(theta / 2)) if math.cos(theta / 2) > 1e-12 else 0.0
+        phase += extra + (phi + lam) / 2
+    else:
+        # su2 = [[0, -e^{i lam'} s], [e^{i phi'} s, 0]] form
+        phase += cmath.phase(su2[1, 0]) - phi + (phi + lam) / 2
+    return theta, phi, lam, phase
+
+
+def _u3_chain(theta, phi, lam) -> list[tuple[str, list]]:
+    """Native-gate sequence for U3 (first applied first)."""
+    return [
+        ("rz", [lam]),
+        ("sx", []),
+        ("rz", [theta + math.pi]),
+        ("sx", []),
+        ("rz", [phi + math.pi]),
+    ]
+
+
+def _simplify_angle(value) -> bool:
+    """True when a (numeric) angle is an exact multiple of 2*pi."""
+    if isinstance(value, ParameterExpression):
+        return False
+    return abs(math.remainder(float(value), 2 * math.pi)) < 1e-12
+
+
+class BasisTranslation:
+    """Rewrite every gate into the target basis.
+
+    Parameters
+    ----------
+    basis:
+        Target gate names.  ``rz``/``sx``/``x``/``cx`` is the IBM-native
+        default; ``rzz`` may be added to keep RZZ intact for the
+        pulse-efficient pass.
+    """
+
+    def __init__(self, basis: frozenset[str] | set[str] = DEFAULT_BASIS) -> None:
+        self.basis = frozenset(basis)
+
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        out = QuantumCircuit(
+            circuit.num_qubits, circuit.num_clbits, circuit.name
+        )
+        out.global_phase = circuit.global_phase
+        out.calibrations = dict(circuit.calibrations)
+        out.metadata = dict(circuit.metadata)
+        for inst in circuit.instructions:
+            for name, params, qubits in self._translate(inst):
+                if name == "__keep__":
+                    out.append(inst.operation, inst.qubits, inst.clbits)
+                else:
+                    if name == "rz" and _simplify_angle(params[0]):
+                        continue
+                    out.append(standard_gate(name, params), qubits)
+        return out
+
+    # ------------------------------------------------------------------
+    def _translate(self, inst: CircuitInstruction):
+        op = inst.operation
+        qubits = inst.qubits
+        if isinstance(op, (Barrier, Measure, Delay, PulseGate)):
+            yield ("__keep__", None, None)
+            return
+        if op.name in self.basis:
+            yield ("__keep__", None, None)
+            return
+        if not isinstance(op, Gate):
+            raise TranspilerError(f"cannot translate {op!r}")
+        if op.num_qubits == 1:
+            yield from self._translate_1q(op, qubits[0])
+            return
+        if op.num_qubits == 2:
+            yield from self._translate_2q(op, qubits)
+            return
+        raise TranspilerError(
+            f"no translation rule for {op.num_qubits}-qubit gate {op.name!r}"
+        )
+
+    def _translate_1q(self, op: Gate, qubit: int):
+        name = op.name
+        q = [qubit]
+        # symbolic-friendly special cases first
+        if name == "rz" or name == "p":
+            yield ("rz", list(op.params), q)
+            return
+        if name == "rx":
+            theta = op.params[0]
+            for gate, params in _u3_chain(theta, -math.pi / 2, math.pi / 2):
+                yield (gate, params, q)
+            return
+        if name == "ry":
+            theta = op.params[0]
+            for gate, params in _u3_chain(theta, 0.0, 0.0):
+                yield (gate, params, q)
+            return
+        if name in ("u", "u3"):
+            theta, phi, lam = op.params
+            for gate, params in _u3_chain(theta, phi, lam):
+                yield (gate, params, q)
+            return
+        fixed_rz = {
+            "z": math.pi,
+            "s": math.pi / 2,
+            "sdg": -math.pi / 2,
+            "t": math.pi / 4,
+            "tdg": -math.pi / 4,
+            "id": 0.0,
+        }
+        if name in fixed_rz:
+            if fixed_rz[name]:
+                yield ("rz", [fixed_rz[name]], q)
+            return
+        if name == "h":
+            yield ("rz", [math.pi / 2], q)
+            yield ("sx", [], q)
+            yield ("rz", [math.pi / 2], q)
+            return
+        if name == "sxdg":
+            yield ("rz", [math.pi], q)
+            yield ("sx", [], q)
+            yield ("rz", [math.pi], q)
+            return
+        if name == "y":
+            yield ("rz", [math.pi], q)
+            yield ("x", [], q)
+            return
+        # numeric fallback through U3 extraction
+        try:
+            matrix = op.matrix()
+        except Exception as exc:
+            raise TranspilerError(
+                f"cannot translate parametric gate {op!r}"
+            ) from exc
+        theta, phi, lam, _ = u3_angles_from_matrix(matrix)
+        for gate, params in _u3_chain(theta, phi, lam):
+            yield (gate, params, q)
+
+    def _translate_2q(self, op: Gate, qubits):
+        name = op.name
+        a, b = qubits
+        if name == "cx":
+            yield ("cx", [], [a, b])
+            return
+        if name == "cz":
+            yield from self._translate_1q(standard_gate("h"), b)
+            yield ("cx", [], [a, b])
+            yield from self._translate_1q(standard_gate("h"), b)
+            return
+        if name == "swap":
+            yield ("cx", [], [a, b])
+            yield ("cx", [], [b, a])
+            yield ("cx", [], [a, b])
+            return
+        if name == "rzz":
+            theta = op.params[0]
+            yield ("cx", [], [a, b])
+            yield ("rz", [theta], [b])
+            yield ("cx", [], [a, b])
+            return
+        if name == "rzx":
+            theta = op.params[0]
+            yield from self._translate_1q(standard_gate("h"), b)
+            yield ("cx", [], [a, b])
+            yield ("rz", [theta], [b])
+            yield ("cx", [], [a, b])
+            yield from self._translate_1q(standard_gate("h"), b)
+            return
+        if name == "rxx":
+            theta = op.params[0]
+            for q in (a, b):
+                yield from self._translate_1q(standard_gate("h"), q)
+            yield ("cx", [], [a, b])
+            yield ("rz", [theta], [b])
+            yield ("cx", [], [a, b])
+            for q in (a, b):
+                yield from self._translate_1q(standard_gate("h"), q)
+            return
+        if name == "ryy":
+            theta = op.params[0]
+            # rotate Y -> Z with RX(pi/2) on both
+            for q in (a, b):
+                yield from self._translate_1q(
+                    standard_gate("rx", [math.pi / 2]), q
+                )
+            yield ("cx", [], [a, b])
+            yield ("rz", [theta], [b])
+            yield ("cx", [], [a, b])
+            for q in (a, b):
+                yield from self._translate_1q(
+                    standard_gate("rx", [-math.pi / 2]), q
+                )
+            return
+        if name == "crz":
+            theta = op.params[0]
+            # linear ParameterExpressions support / and unary - directly
+            yield ("rz", [theta / 2], [b])
+            yield ("cx", [], [a, b])
+            yield ("rz", [-(theta / 2)], [b])
+            yield ("cx", [], [a, b])
+            return
+        if name == "cp":
+            theta = op.params[0]
+            yield ("rz", [theta / 2], [a])
+            yield ("cx", [], [a, b])
+            yield ("rz", [-(theta / 2)], [b])
+            yield ("cx", [], [a, b])
+            yield ("rz", [theta / 2], [b])
+            return
+        if name == "ecr":
+            # ECR = X_c . RZX(pi/2) (X on the control after the rotation)
+            yield from self._translate_1q(standard_gate("h"), b)
+            yield ("cx", [], [a, b])
+            yield ("rz", [math.pi / 2], [b])
+            yield ("cx", [], [a, b])
+            yield from self._translate_1q(standard_gate("h"), b)
+            yield ("x", [], [a])
+            return
+        raise TranspilerError(f"no translation rule for gate {name!r}")

@@ -1,0 +1,226 @@
+"""Gate-cancellation passes (the paper's Step-II "gate cancellation").
+
+Two passes:
+
+* :class:`SelfInverseCancellation` — removes adjacent pairs of
+  self-inverse gates (H·H, X·X, CX·CX, ...) and named inverse pairs
+  (S·Sdg, SX·SXdg, ...).
+* :class:`CommutativeCancellation` — merges same-axis rotations (RZ·RZ,
+  RX·RX, RZZ·RZZ on the same pair), drops zero-angle rotations, and uses
+  commutation relations (RZ/Z through a CX control, X/RX through a CX
+  target) to bring cancellable gates together, iterating to a fixed point.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import DAGCircuit, DAGNode
+from repro.circuits.gates import Barrier, Gate, Measure, StandardGate, standard_gate
+from repro.circuits.parameter import ParameterExpression
+
+_INVERSE_PAIRS = {
+    ("h", "h"),
+    ("x", "x"),
+    ("y", "y"),
+    ("z", "z"),
+    ("cx", "cx"),
+    ("cz", "cz"),
+    ("swap", "swap"),
+    ("ecr", "ecr"),
+    ("s", "sdg"),
+    ("sdg", "s"),
+    ("t", "tdg"),
+    ("tdg", "t"),
+    ("sx", "sxdg"),
+    ("sxdg", "sx"),
+}
+
+_MERGEABLE_ROTATIONS = {"rz", "rx", "ry", "p", "rzz", "rxx", "ryy", "rzx", "cp", "crz"}
+
+#: gates diagonal in Z on a given qubit commute with the CX control
+_Z_DIAGONAL = {"rz", "z", "s", "sdg", "t", "tdg", "p"}
+#: gates diagonal in X on a given qubit commute with the CX target
+_X_DIAGONAL = {"rx", "x", "sx", "sxdg"}
+
+
+def _is_zero_angle(value) -> bool:
+    if isinstance(value, ParameterExpression):
+        return False
+    return abs(math.remainder(float(value), 2 * math.pi)) < 1e-12
+
+
+class SelfInverseCancellation:
+    """Cancel adjacent inverse pairs acting on identical qubits."""
+
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        dag = DAGCircuit.from_circuit(circuit)
+        changed = True
+        while changed:
+            changed = False
+            for node in dag.active_nodes():
+                if node._removed or not isinstance(node.operation, Gate):
+                    continue
+                nxt = self._same_qubit_successor(dag, node)
+                if nxt is None:
+                    continue
+                pair = (node.operation.name, nxt.operation.name)
+                if pair in _INVERSE_PAIRS and node.qubits == nxt.qubits:
+                    dag.remove(node)
+                    dag.remove(nxt)
+                    changed = True
+        out = dag.to_circuit(circuit.name)
+        out.global_phase = circuit.global_phase
+        out.calibrations = dict(circuit.calibrations)
+        out.metadata = dict(circuit.metadata)
+        return out
+
+    @staticmethod
+    def _same_qubit_successor(dag: DAGCircuit, node: DAGNode) -> DAGNode | None:
+        """The unique next node if it directly follows on every wire."""
+        candidates = {
+            (nxt.node_id if nxt is not None else None)
+            for nxt in (
+                dag.next_on_wire(node, q) for q in node.qubits
+            )
+        }
+        if len(candidates) != 1:
+            return None
+        (only,) = candidates
+        if only is None:
+            return None
+        nxt = dag.node(only)
+        if set(nxt.qubits) != set(node.qubits):
+            return None
+        return nxt
+
+
+class CommutativeCancellation:
+    """Merge rotations and cancel through commutation relations."""
+
+    def __init__(self, max_passes: int = 10) -> None:
+        self.max_passes = max_passes
+
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        current = circuit
+        for _ in range(self.max_passes):
+            merged = self._merge_rotations(current)
+            cancelled = SelfInverseCancellation()(merged)
+            commuted = self._commute_through_cx(cancelled)
+            if self._signature(commuted) == self._signature(current):
+                return commuted
+            current = commuted
+        return current
+
+    @staticmethod
+    def _signature(circuit: QuantumCircuit) -> tuple:
+        return tuple(
+            (inst.operation.name, inst.qubits, tuple(map(str, inst.operation.params)))
+            for inst in circuit.instructions
+        )
+
+    # ------------------------------------------------------------------
+    def _merge_rotations(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        dag = DAGCircuit.from_circuit(circuit)
+        changed = True
+        while changed:
+            changed = False
+            for node in dag.active_nodes():
+                if node._removed:
+                    continue
+                name = node.operation.name
+                if name not in _MERGEABLE_ROTATIONS:
+                    continue
+                if _is_zero_angle(node.operation.params[0]):
+                    dag.remove(node)
+                    changed = True
+                    continue
+                nxt = SelfInverseCancellation._same_qubit_successor(dag, node)
+                if (
+                    nxt is not None
+                    and nxt.operation.name == name
+                    and nxt.qubits == node.qubits
+                ):
+                    total = node.operation.params[0] + nxt.operation.params[0]
+                    merged = standard_gate(name, [total])
+                    from repro.circuits.circuit import CircuitInstruction
+
+                    dag.substitute(
+                        node,
+                        [CircuitInstruction(merged, node.qubits)],
+                    )
+                    dag.remove(nxt)
+                    changed = True
+        out = dag.to_circuit(circuit.name)
+        out.global_phase = circuit.global_phase
+        out.calibrations = dict(circuit.calibrations)
+        out.metadata = dict(circuit.metadata)
+        return out
+
+    def _commute_through_cx(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """Push Z-diagonal gates past CX controls and X-diagonal past
+        targets when that enables a merge with a matching gate."""
+        instructions = list(circuit.instructions)
+        changed = True
+        while changed:
+            changed = False
+            for idx, inst in enumerate(instructions):
+                op = inst.operation
+                if not isinstance(op, StandardGate):
+                    continue
+                commutes_with = None
+                if op.name in _Z_DIAGONAL:
+                    commutes_with = "control"
+                elif op.name in _X_DIAGONAL:
+                    commutes_with = "target"
+                else:
+                    continue
+                qubit = inst.qubits[0]
+                # look ahead: can this gate hop over the next op on its wire?
+                for jdx in range(idx + 1, len(instructions)):
+                    other = instructions[jdx]
+                    if qubit not in other.qubits:
+                        continue
+                    other_op = other.operation
+                    if (
+                        isinstance(other_op, StandardGate)
+                        and other_op.name == op.name
+                        and other.qubits == inst.qubits
+                    ):
+                        # mergeable twin right after (possibly after hops)
+                        break
+                    if (
+                        isinstance(other_op, StandardGate)
+                        and other_op.name == "cx"
+                        and (
+                            (commutes_with == "control" and other.qubits[0] == qubit)
+                            or (commutes_with == "target" and other.qubits[1] == qubit)
+                        )
+                    ):
+                        continue  # commutes; keep scanning
+                    break
+                else:
+                    continue
+                if jdx <= idx + 1:
+                    continue
+                other = instructions[jdx]
+                other_op = other.operation
+                if not (
+                    isinstance(other_op, StandardGate)
+                    and other_op.name == op.name
+                    and other.qubits == inst.qubits
+                ):
+                    continue
+                # hop inst to just before its twin
+                instructions.pop(idx)
+                instructions.insert(jdx - 1, inst)
+                changed = True
+                break
+        out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        out.global_phase = circuit.global_phase
+        out.calibrations = dict(circuit.calibrations)
+        out.metadata = dict(circuit.metadata)
+        for inst in instructions:
+            out.append(inst.operation, inst.qubits, inst.clbits)
+        return out

@@ -1,0 +1,218 @@
+"""Layout selection passes.
+
+* :class:`TrivialLayout` — wire i on physical qubit i.
+* :class:`SabreLayout` — bidirectional SABRE refinement of a random
+  initial layout (forward/backward routing sweeps).
+* :class:`NoiseAwareLayout` — choose the connected physical subgraph with
+  the lowest aggregate two-qubit + readout error (the Fig. 3 Step-II
+  "noise-aware mapping" option).
+* :class:`ApplyLayout` — expand a logical circuit onto physical wires
+  without routing (requires all 2-qubit gates already adjacent).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Barrier
+from repro.exceptions import TranspilerError
+from repro.transpiler.coupling import CouplingMap
+from repro.transpiler.passes.routing import SabreSwap
+from repro.utils.rng import as_generator
+
+
+class TrivialLayout:
+    """Identity wire->physical mapping."""
+
+    def __init__(self, coupling: CouplingMap) -> None:
+        self.coupling = coupling
+
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        if circuit.num_qubits > self.coupling.num_qubits:
+            raise TranspilerError("circuit wider than device")
+        if context is not None:
+            context.initial_layout = {
+                q: q for q in range(circuit.num_qubits)
+            }
+        return circuit
+
+
+class SabreLayout:
+    """Refine an initial layout with forward/backward SABRE sweeps.
+
+    Each trial starts from a random layout, routes the circuit forward,
+    then routes the *reversed* circuit starting from the obtained final
+    layout; the resulting final layout seeds the next forward pass.  The
+    trial whose forward routing inserts the fewest SWAPs wins.
+    """
+
+    def __init__(
+        self,
+        coupling: CouplingMap,
+        trials: int = 3,
+        sweeps: int = 2,
+        seed: int | None = None,
+    ) -> None:
+        self.coupling = coupling
+        self.trials = trials
+        self.sweeps = sweeps
+        self.seed = seed
+
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        rng = as_generator(self.seed)
+        num_logical = circuit.num_qubits
+        best_layout = None
+        best_cost = None
+        reversed_circuit = self._reverse(circuit)
+        for _ in range(max(1, self.trials)):
+            perm = list(rng.permutation(self.coupling.num_qubits)[:num_logical])
+            layout = {w: int(p) for w, p in enumerate(perm)}
+            for _ in range(self.sweeps):
+                fwd_ctx = _MiniContext(layout)
+                SabreSwap(self.coupling, layout, seed=int(rng.integers(2**31)))(
+                    circuit, fwd_ctx
+                )
+                bwd_ctx = _MiniContext(fwd_ctx.final_layout)
+                SabreSwap(
+                    self.coupling,
+                    fwd_ctx.final_layout,
+                    seed=int(rng.integers(2**31)),
+                )(reversed_circuit, bwd_ctx)
+                layout = bwd_ctx.final_layout
+            final_ctx = _MiniContext(layout)
+            routed = SabreSwap(
+                self.coupling, layout, seed=int(rng.integers(2**31))
+            )(circuit, final_ctx)
+            cost = routed.count_ops().get("swap", 0)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_layout = layout
+        if context is not None:
+            context.initial_layout = dict(best_layout)
+        return circuit
+
+    @staticmethod
+    def _reverse(circuit: QuantumCircuit) -> QuantumCircuit:
+        out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits)
+        for inst in reversed(circuit.instructions):
+            out.append(inst.operation, inst.qubits, inst.clbits)
+        return out
+
+
+class _MiniContext:
+    def __init__(self, initial_layout) -> None:
+        self.initial_layout = dict(initial_layout)
+        self.final_layout = dict(initial_layout)
+
+
+class NoiseAwareLayout:
+    """Pick the connected subgraph minimising aggregate error.
+
+    ``edge_errors`` maps physical edges to two-qubit error rates and
+    ``readout_errors`` physical qubits to readout error rates; both
+    usually come from a backend's calibration data.
+    """
+
+    def __init__(
+        self,
+        coupling: CouplingMap,
+        edge_errors: Mapping[tuple[int, int], float],
+        readout_errors: Sequence[float] | None = None,
+    ) -> None:
+        self.coupling = coupling
+        self.edge_errors = {
+            tuple(sorted(edge)): float(err)
+            for edge, err in edge_errors.items()
+        }
+        self.readout_errors = (
+            list(readout_errors)
+            if readout_errors is not None
+            else [0.0] * coupling.num_qubits
+        )
+
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        size = circuit.num_qubits
+        best = None
+        best_cost = None
+        for subset in self.coupling.connected_subgraphs(size):
+            cost = sum(self.readout_errors[q] for q in subset)
+            for a in subset:
+                for b in subset:
+                    if a < b and self.coupling.are_adjacent(a, b):
+                        cost += self.edge_errors.get((a, b), 0.0)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best = subset
+        if best is None:
+            raise TranspilerError(
+                f"no connected subgraph of size {size} found"
+            )
+        layout = self._order_subset(best, circuit)
+        if context is not None:
+            context.initial_layout = layout
+        return circuit
+
+    def _order_subset(
+        self, subset: tuple[int, ...], circuit: QuantumCircuit
+    ) -> dict[int, int]:
+        """Greedy wire ordering: place strongly-interacting wires adjacently."""
+        interaction: dict[tuple[int, int], int] = {}
+        for inst in circuit.instructions:
+            if len(inst.qubits) == 2 and not isinstance(
+                inst.operation, Barrier
+            ):
+                key = tuple(sorted(inst.qubits))
+                interaction[key] = interaction.get(key, 0) + 1
+        wires = sorted(
+            range(circuit.num_qubits),
+            key=lambda w: -sum(
+                count for pair, count in interaction.items() if w in pair
+            ),
+        )
+        physical = sorted(
+            subset, key=lambda p: -self.coupling.degree(p)
+        )
+        return {w: p for w, p in zip(wires, physical)}
+
+
+class ApplyLayout:
+    """Relabel wires onto physical qubits without inserting SWAPs."""
+
+    def __init__(
+        self,
+        coupling: CouplingMap,
+        layout: Sequence[int] | Mapping[int, int] | None = None,
+    ) -> None:
+        self.coupling = coupling
+        self.layout = layout
+
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        layout = self.layout
+        if layout is None and context is not None:
+            layout = getattr(context, "initial_layout", None)
+        if layout is None:
+            layout = {q: q for q in range(circuit.num_qubits)}
+        if not isinstance(layout, Mapping):
+            layout = {w: int(p) for w, p in enumerate(layout)}
+        out = QuantumCircuit(
+            self.coupling.num_qubits, circuit.num_clbits, circuit.name
+        )
+        out.global_phase = circuit.global_phase
+        out.calibrations = dict(circuit.calibrations)
+        out.metadata = dict(circuit.metadata)
+        for inst in circuit.instructions:
+            physical = [layout[q] for q in inst.qubits]
+            if len(physical) == 2 and not isinstance(
+                inst.operation, Barrier
+            ):
+                if not self.coupling.are_adjacent(*physical):
+                    raise TranspilerError(
+                        f"gate {inst.operation.name} on non-adjacent "
+                        f"qubits {physical}; route the circuit instead"
+                    )
+            out.append(inst.operation, physical, inst.clbits)
+        if context is not None:
+            context.initial_layout = dict(layout)
+            context.final_layout = dict(layout)
+        return out

@@ -1,0 +1,264 @@
+"""SABRE swap routing [Li, Ding, Xie — ASPLOS 2019].
+
+Bidirectional-heuristic qubit routing: maintains a front layer of not-yet
+-executable gates, and greedily inserts the SWAP that minimises a
+distance heuristic over the front layer plus a lookahead window, with a
+decay factor discouraging ping-pong swaps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Barrier, Gate
+from repro.exceptions import TranspilerError
+from repro.transpiler.coupling import CouplingMap
+from repro.utils.rng import as_generator
+
+_EXTENDED_SET_SIZE = 20
+_EXTENDED_SET_WEIGHT = 0.5
+_DECAY_INCREMENT = 0.001
+_DECAY_RESET_INTERVAL = 5
+
+
+class SabreSwap:
+    """Route a logical circuit onto a coupling map with SWAP insertion.
+
+    The pass returns a circuit on **physical** qubits (width =
+    ``coupling.num_qubits``); the final wire->physical mapping is stored
+    in ``context.final_layout`` (and the input mapping in
+    ``context.initial_layout``) when a context is passed.
+    """
+
+    def __init__(
+        self,
+        coupling: CouplingMap,
+        initial_layout: Sequence[int] | Mapping[int, int] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.coupling = coupling
+        self.initial_layout = initial_layout
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        num_logical = circuit.num_qubits
+        num_physical = self.coupling.num_qubits
+        if num_logical > num_physical:
+            raise TranspilerError(
+                f"circuit has {num_logical} qubits but device only "
+                f"{num_physical}"
+            )
+        layout = self._resolve_layout(num_logical, context)
+        rng = as_generator(self.seed)
+
+        ops = list(circuit.instructions)
+        # wire -> ordered op indices
+        wire_ops: list[list[int]] = [[] for _ in range(num_logical)]
+        for idx, inst in enumerate(ops):
+            for q in inst.qubits:
+                wire_ops[q].append(idx)
+        cursor = [0] * num_logical  # per-wire progress
+
+        def ready(idx: int) -> bool:
+            return all(
+                wire_ops[q][cursor[q]] == idx
+                for q in ops[idx].qubits
+            )
+
+        def front_layer() -> list[int]:
+            seen = set()
+            out = []
+            for q in range(num_logical):
+                if cursor[q] < len(wire_ops[q]):
+                    idx = wire_ops[q][cursor[q]]
+                    if idx not in seen and ready(idx):
+                        seen.add(idx)
+                        out.append(idx)
+            return sorted(out)
+
+        def retire(idx: int) -> None:
+            for q in ops[idx].qubits:
+                cursor[q] += 1
+
+        out = QuantumCircuit(
+            num_physical, circuit.num_clbits, circuit.name
+        )
+        out.global_phase = circuit.global_phase
+        out.calibrations = dict(circuit.calibrations)
+        out.metadata = dict(circuit.metadata)
+
+        decay = np.ones(num_physical)
+        rounds_since_progress = 0
+        total_rounds = 0
+
+        front = front_layer()
+        while front:
+            executed_any = True
+            while executed_any:
+                executed_any = False
+                for idx in front:
+                    inst = ops[idx]
+                    if self._executable(inst, layout):
+                        out.append(
+                            inst.operation,
+                            [layout[q] for q in inst.qubits],
+                            inst.clbits,
+                        )
+                        retire(idx)
+                        executed_any = True
+                front = front_layer()
+                if not front:
+                    break
+            if not front:
+                break
+
+            # blocked: choose the best swap
+            candidates = self._candidate_swaps(front, ops, layout)
+            if not candidates:
+                raise TranspilerError(
+                    "routing stuck: no candidate swaps (disconnected map?)"
+                )
+            extended = self._extended_set(front, ops, wire_ops, cursor)
+            best_swaps = []
+            best_score = None
+            for swap in candidates:
+                score = self._score(
+                    swap, front, extended, ops, layout, decay
+                )
+                if best_score is None or score < best_score - 1e-12:
+                    best_score = score
+                    best_swaps = [swap]
+                elif abs(score - best_score) <= 1e-12:
+                    best_swaps.append(swap)
+            swap = best_swaps[int(rng.integers(len(best_swaps)))]
+            p1, p2 = swap
+            out.swap(p1, p2)
+            inv = {phys: wire for wire, phys in layout.items()}
+            w1, w2 = inv.get(p1), inv.get(p2)
+            if w1 is not None:
+                layout[w1] = p2
+            if w2 is not None:
+                layout[w2] = p1
+            decay[p1] += _DECAY_INCREMENT
+            decay[p2] += _DECAY_INCREMENT
+            total_rounds += 1
+            if total_rounds % _DECAY_RESET_INTERVAL == 0:
+                decay[:] = 1.0
+            rounds_since_progress += 1
+            if rounds_since_progress > 10 * num_physical * max(1, len(ops)):
+                raise TranspilerError("routing did not converge")
+
+        if context is not None:
+            context.final_layout = dict(layout)
+        return out
+
+    # ------------------------------------------------------------------
+    def _resolve_layout(self, num_logical: int, context) -> dict[int, int]:
+        layout = self.initial_layout
+        if layout is None and context is not None:
+            layout = getattr(context, "initial_layout", None)
+        if layout is None:
+            layout = list(range(num_logical))
+        if isinstance(layout, Mapping):
+            mapping = {int(k): int(v) for k, v in layout.items()}
+        else:
+            mapping = {wire: int(phys) for wire, phys in enumerate(layout)}
+        if len(mapping) < num_logical:
+            raise TranspilerError(
+                f"layout covers {len(mapping)} wires, circuit has {num_logical}"
+            )
+        physical = list(mapping.values())
+        if len(set(physical)) != len(physical):
+            raise TranspilerError(f"layout maps two wires to one qubit: {mapping}")
+        for phys in physical:
+            if not 0 <= phys < self.coupling.num_qubits:
+                raise TranspilerError(f"physical qubit {phys} out of range")
+        if context is not None:
+            context.initial_layout = dict(mapping)
+        return dict(mapping)
+
+    def _executable(self, inst, layout: dict[int, int]) -> bool:
+        if len(inst.qubits) <= 1 or isinstance(inst.operation, Barrier):
+            return True
+        if len(inst.qubits) == 2:
+            return self.coupling.are_adjacent(
+                layout[inst.qubits[0]], layout[inst.qubits[1]]
+            )
+        return True  # >2-qubit non-barrier ops are not routed
+
+    def _candidate_swaps(
+        self, front: list[int], ops, layout: dict[int, int]
+    ) -> list[tuple[int, int]]:
+        involved: set[int] = set()
+        for idx in front:
+            inst = ops[idx]
+            if len(inst.qubits) == 2 and not self._executable(inst, layout):
+                for q in inst.qubits:
+                    involved.add(layout[q])
+        swaps = set()
+        for phys in involved:
+            for nb in self.coupling.neighbors(phys):
+                swaps.add(tuple(sorted((phys, nb))))
+        return sorted(swaps)
+
+    def _extended_set(
+        self, front: list[int], ops, wire_ops, cursor
+    ) -> list[int]:
+        """Up to _EXTENDED_SET_SIZE upcoming 2-qubit ops after the front."""
+        out: list[int] = []
+        seen = set(front)
+        # scan each wire forward
+        for q in range(len(wire_ops)):
+            for idx in wire_ops[q][cursor[q]:]:
+                if idx in seen:
+                    continue
+                seen.add(idx)
+                if len(ops[idx].qubits) == 2 and not isinstance(
+                    ops[idx].operation, Barrier
+                ):
+                    out.append(idx)
+                if len(out) >= _EXTENDED_SET_SIZE:
+                    return out
+        return out
+
+    def _score(
+        self,
+        swap: tuple[int, int],
+        front: list[int],
+        extended: list[int],
+        ops,
+        layout: dict[int, int],
+        decay: np.ndarray,
+    ) -> float:
+        trial = dict(layout)
+        inv = {phys: wire for wire, phys in trial.items()}
+        p1, p2 = swap
+        w1, w2 = inv.get(p1), inv.get(p2)
+        if w1 is not None:
+            trial[w1] = p2
+        if w2 is not None:
+            trial[w2] = p1
+
+        def distance_sum(indices: list[int]) -> float:
+            total = 0.0
+            count = 0
+            for idx in indices:
+                inst = ops[idx]
+                if len(inst.qubits) != 2 or isinstance(
+                    inst.operation, Barrier
+                ):
+                    continue
+                total += self.coupling.distance(
+                    trial[inst.qubits[0]], trial[inst.qubits[1]]
+                )
+                count += 1
+            return total / count if count else 0.0
+
+        score = distance_sum(front)
+        if extended:
+            score += _EXTENDED_SET_WEIGHT * distance_sum(extended)
+        return float(max(decay[p1], decay[p2]) * score)

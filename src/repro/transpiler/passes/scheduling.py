@@ -1,0 +1,210 @@
+"""Instruction scheduling and dynamical-decoupling insertion.
+
+Durations are provided by a callable ``durations(name, qubits) -> int``
+(samples); backends expose one via their Target.  Scheduling is ASAP:
+every instruction starts as soon as all its qubits are free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.circuits.circuit import CircuitInstruction, QuantumCircuit
+from repro.circuits.gates import Barrier, Delay, standard_gate
+from repro.exceptions import TranspilerError
+
+DurationProvider = Callable[[str, tuple[int, ...]], int]
+
+
+class ASAPSchedule:
+    """Compute ASAP start times; returns the circuit unchanged.
+
+    The schedule is attached to ``context.schedule`` (a
+    :class:`ScheduledCircuit`) when a context is given; use
+    :func:`schedule_circuit` for direct access.
+    """
+
+    def __init__(self, durations: DurationProvider) -> None:
+        self.durations = durations
+
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        scheduled = schedule_circuit(circuit, self.durations)
+        if context is not None:
+            context.schedule = scheduled
+        return circuit
+
+
+def schedule_circuit(
+    circuit: QuantumCircuit, durations: DurationProvider
+) -> "SimpleSchedule":
+    """ASAP-schedule a circuit; returns start times and total duration."""
+    busy: dict[int, int] = {}
+    cbusy: dict[int, int] = {}
+    starts: list[int] = []
+    for inst in circuit.instructions:
+        op = inst.operation
+        if isinstance(op, Barrier):
+            # barrier synchronises its qubits at zero cost
+            level = max((busy.get(q, 0) for q in inst.qubits), default=0)
+            for q in inst.qubits:
+                busy[q] = level
+            starts.append(level)
+            continue
+        if isinstance(op, Delay):
+            duration = op.duration
+        else:
+            duration = durations(op.name, inst.qubits)
+        start = max(
+            [busy.get(q, 0) for q in inst.qubits]
+            + [cbusy.get(c, 0) for c in inst.clbits]
+            + [0]
+        )
+        starts.append(start)
+        for q in inst.qubits:
+            busy[q] = start + duration
+        for c in inst.clbits:
+            cbusy[c] = start + duration
+    total = max(list(busy.values()) + list(cbusy.values()) + [0])
+    return SimpleSchedule(circuit, starts, total, durations)
+
+
+class SimpleSchedule:
+    """ASAP schedule result with idle-window queries."""
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        start_times: list[int],
+        duration: int,
+        durations: DurationProvider,
+    ) -> None:
+        self.circuit = circuit
+        self.start_times = start_times
+        self.duration = duration
+        self._durations = durations
+
+    def instruction_duration(self, inst: CircuitInstruction) -> int:
+        op = inst.operation
+        if isinstance(op, Barrier):
+            return 0
+        if isinstance(op, Delay):
+            return op.duration
+        return self._durations(op.name, inst.qubits)
+
+    def qubit_intervals(self, qubit: int) -> list[tuple[int, int]]:
+        """Sorted busy [start, stop) intervals on ``qubit``."""
+        out = []
+        for start, inst in zip(self.start_times, self.circuit.instructions):
+            if qubit in inst.qubits and not isinstance(
+                inst.operation, Barrier
+            ):
+                out.append((start, start + self.instruction_duration(inst)))
+        return sorted(out)
+
+    def idle_windows(self, qubit: int) -> list[tuple[int, int]]:
+        """Idle gaps on ``qubit`` between its first and last operation."""
+        intervals = self.qubit_intervals(qubit)
+        windows = []
+        for (_, prev_stop), (next_start, _) in zip(
+            intervals, intervals[1:]
+        ):
+            if next_start > prev_stop:
+                windows.append((prev_stop, next_start))
+        return windows
+
+
+def circuit_duration(
+    circuit: QuantumCircuit, durations: DurationProvider
+) -> int:
+    """Total ASAP duration of ``circuit`` in samples."""
+    return schedule_circuit(circuit, durations).duration
+
+
+class DynamicalDecoupling:
+    """Insert X-X (or XY4) echo sequences into idle windows.
+
+    Mirrors the Step-III "Dynamical Decoupling (DD)" option of the paper's
+    Fig. 3: idling qubits accumulate dephasing and ZZ-crosstalk phase; an
+    even number of X pulses echoes the static part away.  Only windows
+    long enough for the full sequence are decorated.
+    """
+
+    def __init__(
+        self,
+        durations: DurationProvider,
+        x_duration: int = 160,
+        sequence: str = "XX",
+        min_window: int | None = None,
+    ) -> None:
+        if sequence not in ("XX", "XY4"):
+            raise TranspilerError(f"unknown DD sequence {sequence!r}")
+        self.durations = durations
+        self.x_duration = x_duration
+        self.sequence = sequence
+        pulses = 2 if sequence == "XX" else 4
+        self.min_window = (
+            min_window
+            if min_window is not None
+            else pulses * x_duration + 64
+        )
+
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        schedule = schedule_circuit(circuit, self.durations)
+        insertions: list[tuple[int, int, list]] = []  # (time, qubit, ops)
+        for qubit in range(circuit.num_qubits):
+            for start, stop in schedule.idle_windows(qubit):
+                length = stop - start
+                if length < self.min_window:
+                    continue
+                insertions.append(
+                    (start, qubit, self._sequence_ops(length))
+                )
+        if not insertions:
+            return circuit
+        # rebuild, inserting DD ops right after the instruction that ends
+        # at each window start on that qubit
+        out = QuantumCircuit(
+            circuit.num_qubits, circuit.num_clbits, circuit.name
+        )
+        out.global_phase = circuit.global_phase
+        out.calibrations = dict(circuit.calibrations)
+        out.metadata = dict(circuit.metadata)
+        pending = {(q, t): ops for t, q, ops in insertions}
+        for idx, inst in enumerate(circuit.instructions):
+            out.append(inst.operation, inst.qubits, inst.clbits)
+            if isinstance(inst.operation, Barrier):
+                continue
+            stop = schedule.start_times[idx] + schedule.instruction_duration(
+                inst
+            )
+            for q in inst.qubits:
+                ops = pending.pop((q, stop), None)
+                if ops is None:
+                    continue
+                for name, params in ops:
+                    if name == "delay":
+                        out.delay(params, q)
+                    else:
+                        out.append(standard_gate(name), [q])
+        return out
+
+    def _sequence_ops(self, window: int) -> list[tuple[str, object]]:
+        names = ["x", "x"] if self.sequence == "XX" else ["x", "y", "x", "y"]
+        pulses = len(names)
+        slack = window - pulses * self.x_duration
+        # tau/2 - X - tau - X - tau/2 spacing, aligned to 16 samples
+        gap = (slack // (pulses)) // 16 * 16
+        half = ((slack - gap * (pulses - 1)) // 2) // 16 * 16
+        ops: list[tuple[str, object]] = []
+        if half > 0:
+            ops.append(("delay", half))
+        for i, name in enumerate(names):
+            ops.append((name, None))
+            if i < pulses - 1 and gap > 0:
+                ops.append(("delay", gap))
+        remainder = window - half - pulses * self.x_duration - gap * (
+            pulses - 1
+        )
+        if remainder > 0:
+            ops.append(("delay", remainder))
+        return ops

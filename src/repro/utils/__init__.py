@@ -1,0 +1,50 @@
+"""Shared low-level utilities: linear algebra, bitstrings, RNG handling."""
+
+from repro.utils.bitstrings import (
+    bit_at,
+    bitstring_to_index,
+    flip_bit,
+    format_counts,
+    hamming_distance,
+    hamming_weight,
+    index_to_bitstring,
+    iter_bitstrings,
+)
+from repro.utils.linalg import (
+    apply_matrix_to_qubits,
+    close_to_identity,
+    embed_matrix,
+    is_hermitian,
+    is_unitary,
+    kron_all,
+    partial_trace,
+    process_fidelity,
+    projector,
+    state_fidelity,
+    tensor_eye,
+)
+from repro.utils.rng import as_generator, derive_seed
+
+__all__ = [
+    "bit_at",
+    "bitstring_to_index",
+    "flip_bit",
+    "format_counts",
+    "hamming_distance",
+    "hamming_weight",
+    "index_to_bitstring",
+    "iter_bitstrings",
+    "apply_matrix_to_qubits",
+    "close_to_identity",
+    "embed_matrix",
+    "is_hermitian",
+    "is_unitary",
+    "kron_all",
+    "partial_trace",
+    "process_fidelity",
+    "projector",
+    "state_fidelity",
+    "tensor_eye",
+    "as_generator",
+    "derive_seed",
+]

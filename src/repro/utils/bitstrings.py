@@ -1,0 +1,76 @@
+"""Bitstring helpers shared by simulators, samplers and mitigation code.
+
+Conventions
+-----------
+The library uses the little-endian (Qiskit) convention throughout:
+
+* qubit 0 is the **least significant** bit of a basis-state index;
+* rendered bitstrings place qubit 0 **rightmost**, so the state
+  ``|q2 q1 q0> = |110>`` has index ``0b110 = 6`` and renders as ``"110"``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+
+def index_to_bitstring(index: int, num_bits: int) -> str:
+    """Render a basis-state index as a bitstring with qubit 0 rightmost.
+
+    >>> index_to_bitstring(6, 3)
+    '110'
+    """
+    if index < 0 or index >= (1 << num_bits):
+        raise ValueError(
+            f"index {index} out of range for {num_bits} bits"
+        )
+    return format(index, f"0{num_bits}b")
+
+
+def bitstring_to_index(bitstring: str) -> int:
+    """Parse a bitstring (qubit 0 rightmost) back into a basis index.
+
+    >>> bitstring_to_index('110')
+    6
+    """
+    stripped = bitstring.replace(" ", "")
+    if not stripped or any(c not in "01" for c in stripped):
+        raise ValueError(f"invalid bitstring {bitstring!r}")
+    return int(stripped, 2)
+
+
+def bit_at(index: int, qubit: int) -> int:
+    """Value (0 or 1) of ``qubit`` in the basis state ``index``."""
+    return (index >> qubit) & 1
+
+
+def flip_bit(index: int, qubit: int) -> int:
+    """Basis index with ``qubit`` flipped."""
+    return index ^ (1 << qubit)
+
+
+def hamming_weight(index: int) -> int:
+    """Number of set bits in ``index``."""
+    return bin(index).count("1")
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of bit positions on which ``a`` and ``b`` differ."""
+    return hamming_weight(a ^ b)
+
+
+def iter_bitstrings(num_bits: int) -> Iterator[str]:
+    """Yield all ``2**num_bits`` bitstrings in index order."""
+    for index in range(1 << num_bits):
+        yield index_to_bitstring(index, num_bits)
+
+
+def format_counts(
+    counts: Mapping[str, int | float], top: int | None = None
+) -> str:
+    """Human-readable rendering of a counts dictionary, largest first."""
+    items = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    if top is not None:
+        items = items[:top]
+    body = ", ".join(f"{key}: {value}" for key, value in items)
+    return "{" + body + "}"

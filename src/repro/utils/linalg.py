@@ -1,0 +1,203 @@
+"""Dense linear-algebra helpers used across simulators and transpilation.
+
+All functions operate on little-endian qubit ordering (qubit 0 is the least
+significant axis of a statevector / density matrix index).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+_ATOL = 1e-10
+
+
+def kron_all(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Kronecker product of ``matrices`` with the **last** entry acting on
+    qubit 0.
+
+    ``kron_all([A, B, C])`` returns ``A ⊗ B ⊗ C`` which, in little-endian
+    ordering, applies ``C`` to qubit 0, ``B`` to qubit 1 and ``A`` to
+    qubit 2.
+    """
+    if not matrices:
+        raise ValueError("kron_all requires at least one matrix")
+    out = np.asarray(matrices[0], dtype=complex)
+    for mat in matrices[1:]:
+        out = np.kron(out, np.asarray(mat, dtype=complex))
+    return out
+
+
+def tensor_eye(num_qubits: int) -> np.ndarray:
+    """Identity on ``num_qubits`` qubits."""
+    return np.eye(1 << num_qubits, dtype=complex)
+
+
+def embed_matrix(
+    matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Embed a k-qubit ``matrix`` acting on ``qubits`` into an
+    ``num_qubits``-qubit operator.
+
+    ``qubits[0]`` is the least-significant qubit of ``matrix``.  This is a
+    dense O(4**n) construction intended for small systems and tests; the
+    simulators use :func:`apply_matrix_to_qubits` instead.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    k = len(qubits)
+    if matrix.shape != (1 << k, 1 << k):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match {k} qubits"
+        )
+    if len(set(qubits)) != k:
+        raise ValueError(f"duplicate qubits in {qubits}")
+    if any(q < 0 or q >= num_qubits for q in qubits):
+        raise ValueError(f"qubits {qubits} out of range for n={num_qubits}")
+
+    dim = 1 << num_qubits
+    out = np.zeros((dim, dim), dtype=complex)
+    rest = [q for q in range(num_qubits) if q not in qubits]
+    for col_sub in range(1 << k):
+        for row_sub in range(1 << k):
+            amp = matrix[row_sub, col_sub]
+            if amp == 0:
+                continue
+            for rest_bits in range(1 << len(rest)):
+                base = 0
+                for pos, q in enumerate(rest):
+                    base |= ((rest_bits >> pos) & 1) << q
+                row = base
+                col = base
+                for pos, q in enumerate(qubits):
+                    row |= ((row_sub >> pos) & 1) << q
+                    col |= ((col_sub >> pos) & 1) << q
+                out[row, col] += amp
+    return out
+
+
+def apply_matrix_to_qubits(
+    matrix: np.ndarray,
+    state: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a k-qubit ``matrix`` to ``qubits`` of a statevector.
+
+    Uses tensor reshaping, so the cost is O(2**n * 2**k) rather than
+    O(4**n).  ``state`` is not modified; a new array is returned.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    k = len(qubits)
+    if matrix.shape != (1 << k, 1 << k):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match {k} qubits"
+        )
+    tensor = np.asarray(state, dtype=complex).reshape([2] * num_qubits)
+    # numpy axis 0 of the reshaped tensor is the most-significant qubit
+    # (qubit n-1); convert little-endian qubit labels to axes.
+    axes = [num_qubits - 1 - q for q in qubits]
+    # Move the target axes to the front, with qubits[0] (the LSB of the
+    # matrix) as the *last* of the moved axes.
+    order = list(reversed(axes))
+    tensor = np.moveaxis(tensor, order, range(k))
+    shape = tensor.shape
+    tensor = matrix @ tensor.reshape(1 << k, -1)
+    tensor = tensor.reshape(shape)
+    tensor = np.moveaxis(tensor, range(k), order)
+    return tensor.reshape(-1)
+
+
+def projector(index: int, dim: int) -> np.ndarray:
+    """Rank-1 projector ``|index><index|`` in a ``dim``-dimensional space."""
+    out = np.zeros((dim, dim), dtype=complex)
+    out[index, index] = 1.0
+    return out
+
+
+def partial_trace(
+    rho: np.ndarray, keep: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Partial trace of a density matrix keeping ``keep`` qubits.
+
+    The returned matrix is ordered with ``keep[0]`` as its least-significant
+    qubit.
+    """
+    rho = np.asarray(rho, dtype=complex)
+    dim = 1 << num_qubits
+    if rho.shape != (dim, dim):
+        raise ValueError(f"rho shape {rho.shape} does not match n={num_qubits}")
+    keep = list(keep)
+    if len(set(keep)) != len(keep):
+        raise ValueError(f"duplicate qubits in keep={keep}")
+    if any(q < 0 or q >= num_qubits for q in keep):
+        raise ValueError(f"keep={keep} out of range for n={num_qubits}")
+    traced = [q for q in range(num_qubits) if q not in keep]
+
+    tensor = rho.reshape([2] * (2 * num_qubits))
+    # Row axis of qubit q is num_qubits-1-q; column axes offset by n.
+    keep_row = [num_qubits - 1 - q for q in reversed(keep)]
+    traced_row = [num_qubits - 1 - q for q in traced]
+    perm = (
+        keep_row
+        + traced_row
+        + [a + num_qubits for a in keep_row]
+        + [a + num_qubits for a in traced_row]
+    )
+    tensor = tensor.transpose(perm)
+    k, t = len(keep), len(traced)
+    tensor = tensor.reshape(1 << k, 1 << t, 1 << k, 1 << t)
+    return np.einsum("aibi->ab", tensor)
+
+
+def is_unitary(matrix: np.ndarray, atol: float = _ATOL) -> bool:
+    """True when ``matrix`` is unitary within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    eye = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix @ matrix.conj().T, eye, atol=atol))
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = _ATOL) -> bool:
+    """True when ``matrix`` equals its conjugate transpose within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    return bool(np.allclose(matrix, matrix.conj().T, atol=atol))
+
+
+def close_to_identity(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """True when ``matrix`` is the identity up to a global phase."""
+    matrix = np.asarray(matrix, dtype=complex)
+    dim = matrix.shape[0]
+    trace = np.trace(matrix)
+    if abs(trace) < atol:
+        return False
+    phase = trace / abs(trace)
+    return bool(np.allclose(matrix, phase * np.eye(dim), atol=atol))
+
+
+def state_fidelity(state_a: np.ndarray, state_b: np.ndarray) -> float:
+    """Fidelity between two pure states or a pure state and a density
+    matrix (detected by dimensionality)."""
+    a = np.asarray(state_a, dtype=complex)
+    b = np.asarray(state_b, dtype=complex)
+    if a.ndim == 1 and b.ndim == 1:
+        return float(abs(np.vdot(a, b)) ** 2)
+    if a.ndim == 1 and b.ndim == 2:
+        return float(np.real(np.vdot(a, b @ a)))
+    if a.ndim == 2 and b.ndim == 1:
+        return float(np.real(np.vdot(b, a @ b)))
+    raise ValueError("state_fidelity of two density matrices not supported")
+
+
+def process_fidelity(u_actual: np.ndarray, u_target: np.ndarray) -> float:
+    """Process fidelity |Tr(U_target† U_actual)|² / d² between unitaries."""
+    u_actual = np.asarray(u_actual, dtype=complex)
+    u_target = np.asarray(u_target, dtype=complex)
+    if u_actual.shape != u_target.shape:
+        raise ValueError("unitaries must have identical shapes")
+    dim = u_actual.shape[0]
+    overlap = np.trace(u_target.conj().T @ u_actual)
+    return float(abs(overlap) ** 2 / dim**2)

@@ -1,0 +1,26 @@
+"""Variational-quantum-algorithm machinery: ansätze, costs, optimizers."""
+
+from repro.vqa.ansatz import hardware_efficient_ansatz, qaoa_ansatz
+from repro.vqa.cost import CostFunction, CVaRCost, ExpectedCutCost
+from repro.vqa.trace import ConvergenceTrace
+from repro.vqa.optimizers import (
+    COBYLA,
+    SPSA,
+    NelderMead,
+    Optimizer,
+    OptimizerResult,
+)
+
+__all__ = [
+    "hardware_efficient_ansatz",
+    "qaoa_ansatz",
+    "CostFunction",
+    "CVaRCost",
+    "ExpectedCutCost",
+    "ConvergenceTrace",
+    "COBYLA",
+    "SPSA",
+    "NelderMead",
+    "Optimizer",
+    "OptimizerResult",
+]

@@ -1,0 +1,100 @@
+"""Parametrised circuit ansätze.
+
+* :func:`qaoa_ansatz` — the alternating Hamiltonian/mixer structure of
+  Farhi et al. (paper Fig. 2e): ``|+>^n`` then p layers of
+  ``exp(-i gamma_l H_P)`` (RZZ per edge) and ``exp(-i beta_l H_M)``
+  (RX per qubit).
+* :func:`hardware_efficient_ansatz` — the problem-agnostic PQC of the
+  paper's Fig. 2b: U3 rotation layers alternating with CX entanglement in
+  linear / circular / full patterns.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameter import Parameter
+from repro.exceptions import ProblemError
+
+
+def qaoa_ansatz(
+    graph: nx.Graph,
+    p: int = 1,
+    measure: bool = True,
+) -> tuple[QuantumCircuit, list[Parameter], list[Parameter]]:
+    """Level-p QAOA Max-Cut ansatz.
+
+    Returns ``(circuit, gammas, betas)``.  Per layer l the Hamiltonian
+    layer applies ``rzz(w_ij * gamma_l)`` on every edge and the mixer
+    ``rx(2 * beta_l)`` on every qubit.
+    """
+    if p < 1:
+        raise ProblemError("QAOA level p must be >= 1")
+    num_qubits = graph.number_of_nodes()
+    gammas = [Parameter(f"gamma_{l}") for l in range(p)]
+    betas = [Parameter(f"beta_{l}") for l in range(p)]
+    qc = QuantumCircuit(num_qubits, name=f"qaoa_p{p}")
+    for q in range(num_qubits):
+        qc.h(q)
+    for layer in range(p):
+        for a, b, data in graph.edges(data=True):
+            weight = data.get("weight", 1.0)
+            qc.rzz(gammas[layer] * weight, int(a), int(b))
+        qc.barrier()
+        for q in range(num_qubits):
+            qc.rx(2 * betas[layer], q)
+        if layer < p - 1:
+            qc.barrier()
+    if measure:
+        qc.measure_all()
+    return qc, gammas, betas
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int,
+    depth: int = 1,
+    entanglement: str = "linear",
+    measure: bool = False,
+) -> tuple[QuantumCircuit, list[Parameter]]:
+    """U3-rotation + CX-entanglement PQC (paper Fig. 2b).
+
+    Returns ``(circuit, parameters)`` with ``3 * num_qubits * (depth+1)``
+    parameters (a final rotation layer follows the last entangler).
+    """
+    if entanglement not in ("linear", "circular", "full"):
+        raise ProblemError(
+            f"entanglement must be linear/circular/full, got {entanglement!r}"
+        )
+    qc = QuantumCircuit(num_qubits, name=f"pqc_{entanglement}_d{depth}")
+    parameters: list[Parameter] = []
+
+    def rotation_layer(layer: int) -> None:
+        for q in range(num_qubits):
+            theta = Parameter(f"theta_{layer}_{q}")
+            phi = Parameter(f"phi_{layer}_{q}")
+            lam = Parameter(f"lam_{layer}_{q}")
+            parameters.extend([theta, phi, lam])
+            qc.u(theta, phi, lam, q)
+
+    def entangle_layer() -> None:
+        if entanglement == "full":
+            pairs = [
+                (a, b)
+                for a in range(num_qubits)
+                for b in range(a + 1, num_qubits)
+            ]
+        else:
+            pairs = [(q, q + 1) for q in range(num_qubits - 1)]
+            if entanglement == "circular" and num_qubits > 2:
+                pairs.append((num_qubits - 1, 0))
+        for a, b in pairs:
+            qc.cx(a, b)
+
+    for layer in range(depth):
+        rotation_layer(layer)
+        entangle_layer()
+    rotation_layer(depth)
+    if measure:
+        qc.measure_all()
+    return qc, parameters

@@ -1,0 +1,53 @@
+"""Cost functions mapping measurement counts to scalar objectives."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.exceptions import ProblemError
+from repro.problems.maxcut import MaxCutProblem
+
+
+class CostFunction:
+    """Base: evaluate a (to-be-maximised) score from counts."""
+
+    #: human-readable name used in experiment reports
+    name = "cost"
+
+    def evaluate(self, counts: Mapping[str, int | float]) -> float:
+        raise NotImplementedError
+
+    def __call__(self, counts: Mapping[str, int | float]) -> float:
+        return self.evaluate(counts)
+
+
+class ExpectedCutCost(CostFunction):
+    """Plain expectation of the cut value (the paper's "Raw" metric)."""
+
+    name = "expected_cut"
+
+    def __init__(self, problem: MaxCutProblem) -> None:
+        self.problem = problem
+
+    def evaluate(self, counts: Mapping[str, int | float]) -> float:
+        return self.problem.expected_cut(counts)
+
+
+class CVaRCost(CostFunction):
+    """Conditional value-at-risk aggregation (paper Step III, alpha=0.3).
+
+    CVaR_alpha is the mean cut over the best ``alpha`` fraction of shots;
+    it rewards distributions with a heavy good tail and is the objective
+    behind the paper's "CVaR AR" rows.
+    """
+
+    name = "cvar"
+
+    def __init__(self, problem: MaxCutProblem, alpha: float = 0.3) -> None:
+        if not 0 < alpha <= 1:
+            raise ProblemError(f"alpha must be in (0,1], got {alpha}")
+        self.problem = problem
+        self.alpha = alpha
+
+    def evaluate(self, counts: Mapping[str, int | float]) -> float:
+        return self.problem.cvar_cut(counts, self.alpha)

@@ -1,0 +1,8 @@
+"""Classical optimizers for the machine-in-loop training."""
+
+from repro.vqa.optimizers.base import Optimizer, OptimizerResult
+from repro.vqa.optimizers.cobyla import COBYLA
+from repro.vqa.optimizers.nelder_mead import NelderMead
+from repro.vqa.optimizers.spsa import SPSA
+
+__all__ = ["Optimizer", "OptimizerResult", "COBYLA", "NelderMead", "SPSA"]

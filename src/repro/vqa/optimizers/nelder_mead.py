@@ -1,0 +1,44 @@
+"""Nelder-Mead simplex optimizer (scipy wrapper)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from scipy.optimize import minimize as scipy_minimize
+
+from repro.vqa.optimizers.base import Objective, Optimizer, OptimizerResult
+
+
+class NelderMead(Optimizer):
+    """Derivative-free simplex search; robust on shot-noisy objectives."""
+
+    def __init__(self, maxiter: int = 100, xatol: float = 1e-4, fatol: float = 1e-4) -> None:
+        super().__init__(maxiter)
+        self.xatol = xatol
+        self.fatol = fatol
+
+    def _minimize(
+        self,
+        objective: Objective,
+        x0: np.ndarray,
+        bounds: Sequence[tuple[float, float]] | None,
+    ) -> OptimizerResult:
+        result = scipy_minimize(
+            objective,
+            x0,
+            method="Nelder-Mead",
+            options={
+                "maxiter": self.maxiter,
+                "xatol": self.xatol,
+                "fatol": self.fatol,
+            },
+        )
+        return OptimizerResult(
+            x=np.asarray(result.x, dtype=float),
+            fun=float(result.fun),
+            nfev=int(result.get("nfev", 0)),
+            nit=int(result.get("nit", 0)),
+            success=bool(result.success),
+            message=str(result.message),
+        )

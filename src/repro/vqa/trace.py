@@ -1,0 +1,56 @@
+"""Convergence bookkeeping for variational optimisations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ConvergenceTrace:
+    """Records (iteration, parameters, value) tuples during optimisation."""
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+        self.parameters: list[np.ndarray] = []
+
+    def record(self, parameters: np.ndarray, value: float) -> None:
+        self.parameters.append(np.array(parameters, dtype=float))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def best_value(self) -> float:
+        if not self.values:
+            raise ValueError("empty trace")
+        return max(self.values)
+
+    @property
+    def best_parameters(self) -> np.ndarray:
+        if not self.values:
+            raise ValueError("empty trace")
+        return self.parameters[int(np.argmax(self.values))]
+
+    def best_so_far(self) -> list[float]:
+        """Monotone running maximum of the recorded values."""
+        out: list[float] = []
+        best = -np.inf
+        for value in self.values:
+            best = max(best, value)
+            out.append(best)
+        return out
+
+    def iterations_to_reach(self, threshold: float) -> int | None:
+        """First iteration whose running best reaches ``threshold``."""
+        for idx, value in enumerate(self.best_so_far()):
+            if value >= threshold:
+                return idx
+        return None
+
+    def __repr__(self) -> str:
+        if not self.values:
+            return "ConvergenceTrace(empty)"
+        return (
+            f"ConvergenceTrace({len(self)} evals, "
+            f"best={self.best_value:.4f})"
+        )

@@ -1,0 +1,364 @@
+"""Unit tests for the circuit IR: parameters, gates, QuantumCircuit."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    Parameter,
+    ParameterExpression,
+    QuantumCircuit,
+    standard_gate,
+)
+from repro.circuits.gates import (
+    Barrier,
+    Delay,
+    Measure,
+    StandardGate,
+    UnitaryGate,
+    known_gate_names,
+)
+from repro.exceptions import CircuitError, ParameterError
+from repro.utils.linalg import is_unitary
+
+
+class TestParameter:
+    def test_distinct_same_name(self):
+        a1, a2 = Parameter("a"), Parameter("a")
+        assert a1 != a2
+        assert hash(a1) != hash(a2) or a1 is not a2
+
+    def test_linear_arithmetic(self):
+        a, b = Parameter("a"), Parameter("b")
+        expr = 2 * a - b / 2 + 1.0
+        assert expr.coefficient(a) == 2.0
+        assert expr.coefficient(b) == -0.5
+        assert expr.bind({a: 1.0, b: 2.0}) == pytest.approx(2.0)
+
+    def test_partial_bind(self):
+        a, b = Parameter("a"), Parameter("b")
+        expr = a + b
+        partial = expr.bind({a: 3.0})
+        assert isinstance(partial, ParameterExpression)
+        assert partial.parameters == frozenset({b})
+        assert partial.bind({b: 1.0}) == pytest.approx(4.0)
+
+    def test_nonlinear_rejected(self):
+        a, b = Parameter("a"), Parameter("b")
+        with pytest.raises(ParameterError):
+            _ = a * b
+
+    def test_division_by_parameter_rejected(self):
+        a, b = Parameter("a"), Parameter("b")
+        with pytest.raises(ParameterError):
+            _ = a / b
+
+    def test_negation_and_subtraction(self):
+        a = Parameter("a")
+        expr = -(a - 2)
+        assert expr.bind({a: 5.0}) == pytest.approx(-3.0)
+
+    def test_constant_expression(self):
+        expr = ParameterExpression({}, 1.5)
+        assert expr.is_constant
+        assert expr.constant_value == 1.5
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ParameterError):
+            Parameter("")
+
+
+class TestStandardGates:
+    @pytest.mark.parametrize("name", sorted(known_gate_names()))
+    def test_all_gates_unitary(self, name):
+        from repro.circuits.gates import _PARAMETRIC_SIGNATURES
+
+        if name in _PARAMETRIC_SIGNATURES:
+            _, num_params = _PARAMETRIC_SIGNATURES[name]
+            gate = standard_gate(name, [0.37] * num_params)
+        else:
+            gate = standard_gate(name)
+        assert is_unitary(gate.matrix())
+
+    @pytest.mark.parametrize("name", sorted(known_gate_names()))
+    def test_inverse_is_adjoint(self, name):
+        from repro.circuits.gates import _PARAMETRIC_SIGNATURES
+
+        if name in _PARAMETRIC_SIGNATURES:
+            _, num_params = _PARAMETRIC_SIGNATURES[name]
+            gate = standard_gate(name, [0.81] * num_params)
+        else:
+            gate = standard_gate(name)
+        inv = gate.inverse()
+        np.testing.assert_allclose(
+            inv.matrix() @ gate.matrix(), np.eye(gate.matrix().shape[0]),
+            atol=1e-12,
+        )
+
+    def test_cx_matrix(self):
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]]
+        )
+        np.testing.assert_allclose(standard_gate("cx").matrix(), expected)
+
+    def test_h_squared_identity(self):
+        h = standard_gate("h").matrix()
+        np.testing.assert_allclose(h @ h, np.eye(2), atol=1e-12)
+
+    def test_sx_squared_is_x(self):
+        sx = standard_gate("sx").matrix()
+        np.testing.assert_allclose(
+            sx @ sx, standard_gate("x").matrix(), atol=1e-12
+        )
+
+    def test_rz_vs_phase(self):
+        theta = 0.6
+        rz = standard_gate("rz", [theta]).matrix()
+        p = standard_gate("p", [theta]).matrix()
+        np.testing.assert_allclose(
+            rz * np.exp(1j * theta / 2), p, atol=1e-12
+        )
+
+    def test_rzz_diagonal(self):
+        theta = 1.1
+        rzz = standard_gate("rzz", [theta]).matrix()
+        expected = np.diag(
+            np.exp(-1j * theta / 2 * np.array([1, -1, -1, 1]))
+        )
+        np.testing.assert_allclose(rzz, expected, atol=1e-12)
+
+    def test_rzx_structure(self):
+        # exp(-i th/2 Z0 X1): Z on first (LSB) qubit, X on second
+        theta = 0.9
+        rzx = standard_gate("rzx", [theta]).matrix()
+        zx = np.kron(
+            np.array([[0, 1], [1, 0]]), np.array([[1, 0], [0, -1]])
+        ).astype(complex)
+        from scipy.linalg import expm
+
+        np.testing.assert_allclose(
+            rzx, expm(-1j * theta / 2 * zx), atol=1e-12
+        )
+
+    def test_ecr_self_inverse(self):
+        ecr = standard_gate("ecr").matrix()
+        np.testing.assert_allclose(ecr @ ecr, np.eye(4), atol=1e-12)
+
+    def test_u3_general(self):
+        theta, phi, lam = 0.3, 0.7, -0.2
+        u = standard_gate("u", [theta, phi, lam]).matrix()
+        ry = standard_gate("ry", [theta]).matrix()
+        rz_phi = standard_gate("rz", [phi]).matrix()
+        rz_lam = standard_gate("rz", [lam]).matrix()
+        expected = rz_phi @ ry @ rz_lam
+        # u3 = e^{i(phi+lam)/2} RZ(phi) RY(theta) RZ(lam)
+        phase = np.exp(1j * (phi + lam) / 2)
+        np.testing.assert_allclose(u, phase * expected, atol=1e-12)
+
+    def test_unknown_gate(self):
+        with pytest.raises(CircuitError):
+            standard_gate("nope")
+
+    def test_wrong_param_count(self):
+        with pytest.raises(CircuitError):
+            standard_gate("rx", [1.0, 2.0])
+        with pytest.raises(CircuitError):
+            standard_gate("h", [1.0])
+
+    def test_symbolic_gate_matrix_raises(self):
+        theta = Parameter("t")
+        gate = standard_gate("rx", [theta])
+        assert gate.is_parameterized
+        with pytest.raises(CircuitError):
+            gate.matrix()
+
+    def test_unitary_gate(self):
+        mat = standard_gate("h").matrix()
+        gate = UnitaryGate(mat, label="had")
+        assert gate.num_qubits == 1
+        np.testing.assert_allclose(gate.matrix(), mat)
+        with pytest.raises(CircuitError):
+            UnitaryGate(np.ones((2, 3)))
+
+
+class TestQuantumCircuit:
+    def test_build_and_count(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).cx(1, 2).rz(0.5, 2)
+        assert len(qc) == 4
+        assert qc.count_ops() == {"cx": 2, "h": 1, "rz": 1}
+        assert qc.size() == 4
+        assert qc.num_two_qubit_gates() == 2
+
+    def test_depth(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.h(1)
+        assert qc.depth() == 1
+        qc.cx(0, 1)
+        assert qc.depth() == 2
+        qc.barrier()
+        assert qc.depth() == 2  # barrier free
+
+    def test_qubit_range_check(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.h(2)
+        with pytest.raises(CircuitError):
+            qc.cx(0, 0)
+
+    def test_measure_all(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.measure_all()
+        assert qc.num_clbits == 3
+        assert qc.has_measurements()
+        ops = qc.count_ops()
+        assert ops["measure"] == 3
+
+    def test_parameters_sorted(self):
+        beta = Parameter("beta")
+        gamma = Parameter("gamma")
+        qc = QuantumCircuit(2)
+        qc.rzz(gamma, 0, 1)
+        qc.rx(beta, 0)
+        qc.rx(beta, 1)
+        assert [p.name for p in qc.parameters] == ["beta", "gamma"]
+        assert qc.num_parameters == 2
+
+    def test_assign_parameters_mapping_and_sequence(self):
+        theta = Parameter("theta")
+        qc = QuantumCircuit(1)
+        qc.rx(theta, 0)
+        bound_map = qc.assign_parameters({theta: 0.5})
+        bound_seq = qc.assign_parameters([0.5])
+        assert bound_map.instructions[0].operation.params[0] == 0.5
+        assert bound_seq.instructions[0].operation.params[0] == 0.5
+        # original untouched
+        assert qc.instructions[0].operation.is_parameterized
+
+    def test_assign_wrong_length(self):
+        theta = Parameter("theta")
+        qc = QuantumCircuit(1)
+        qc.rx(theta, 0)
+        with pytest.raises(ParameterError):
+            qc.assign_parameters([0.1, 0.2])
+
+    def test_expression_binding(self):
+        gamma = Parameter("gamma")
+        qc = QuantumCircuit(2)
+        qc.rz(2 * gamma, 0)
+        bound = qc.assign_parameters({gamma: 0.25})
+        assert bound.instructions[0].operation.params[0] == pytest.approx(0.5)
+
+    def test_compose_with_mapping(self):
+        inner = QuantumCircuit(2)
+        inner.cx(0, 1)
+        outer = QuantumCircuit(3)
+        outer.h(0)
+        combined = outer.compose(inner, qubits=[1, 2])
+        assert combined.instructions[1].qubits == (1, 2)
+
+    def test_compose_size_check(self):
+        small = QuantumCircuit(1)
+        big = QuantumCircuit(2)
+        big.cx(0, 1)
+        with pytest.raises(CircuitError):
+            small.compose(big)
+
+    def test_inverse_roundtrip(self):
+        from repro.simulators import circuit_to_unitary
+
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).rz(0.3, 1).sx(0)
+        identity = qc.compose(qc.inverse())
+        u = circuit_to_unitary(identity)
+        np.testing.assert_allclose(u, np.eye(4), atol=1e-12)
+
+    def test_inverse_with_measure_raises(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        with pytest.raises(CircuitError):
+            qc.inverse()
+
+    def test_remove_final_measurements(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.measure_all()
+        clean = qc.remove_final_measurements()
+        assert not clean.has_measurements()
+        assert clean.count_ops() == {"h": 1}
+
+    def test_copy_independent(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        clone = qc.copy()
+        clone.x(0)
+        assert len(qc) == 1
+        assert len(clone) == 2
+
+    def test_power(self):
+        qc = QuantumCircuit(1)
+        qc.rx(0.5, 0)
+        from repro.simulators import circuit_to_unitary
+
+        cubed = qc.power(3)
+        np.testing.assert_allclose(
+            circuit_to_unitary(cubed),
+            circuit_to_unitary(QuantumCircuit(1).rx(1.5, 0)),
+            atol=1e-12,
+        )
+
+    def test_draw_smoke(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        text = qc.draw()
+        assert "q0" in text and "q1" in text and "h" in text
+
+    def test_delay_and_barrier(self):
+        qc = QuantumCircuit(2)
+        qc.delay(160, 0)
+        qc.barrier(0, 1)
+        assert qc.instructions[0].operation.duration == 160
+        assert isinstance(qc.instructions[1].operation, Barrier)
+
+    def test_calibrations(self):
+        qc = QuantumCircuit(1)
+        qc.add_calibration("x", [0], "fake-schedule")
+        assert qc.calibrations[("x", (0,))] == "fake-schedule"
+
+
+class TestCircuitProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.sampled_from(["h", "x", "s", "t"]), max_size=12))
+    def test_inverse_involution_property(self, names):
+        qc = QuantumCircuit(1)
+        for name in names:
+            qc.append(standard_gate(name), [0])
+        double_inverse = qc.inverse().inverse()
+        from repro.simulators import circuit_to_unitary
+
+        np.testing.assert_allclose(
+            circuit_to_unitary(double_inverse),
+            circuit_to_unitary(qc),
+            atol=1e-12,
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["rx", "ry", "rz"]),
+                st.floats(-3.0, 3.0, allow_nan=False),
+            ),
+            max_size=8,
+        )
+    )
+    def test_depth_le_size(self, ops):
+        qc = QuantumCircuit(2)
+        for name, angle in ops:
+            qc.append(standard_gate(name, [angle]), [0])
+        assert qc.depth() <= qc.size()

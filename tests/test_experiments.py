@@ -1,0 +1,74 @@
+"""Smoke tests of the experiment drivers (quick configuration)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    fig4,
+    fig5,
+    table1,
+    table2,
+)
+from repro.experiments.config import FIG6_PAPER, TABLE2_PAPER
+
+
+@pytest.fixture(scope="module")
+def quick():
+    return ExperimentConfig(quick=True, seed=99)
+
+
+class TestConfig:
+    def test_quick_reduces_budget(self):
+        config = ExperimentConfig(quick=True)
+        assert config.maxiter <= 8
+        assert config.shots <= 256
+
+    def test_paper_constants_complete(self):
+        for backend, models in TABLE2_PAPER.items():
+            for model, stages in models.items():
+                assert set(stages) == {"raw", "go", "m3", "cvar"}
+        assert len(FIG6_PAPER) == 6
+
+    def test_backend_factory(self):
+        config = ExperimentConfig()
+        assert config.backend("toronto").name == "ibmq_toronto"
+
+
+class TestTable1:
+    def test_matches_paper_exactly(self, quick):
+        result = table1.run(quick)
+        assert table1.verify(result) == []
+        rendering = table1.render(result)
+        assert "166.220" in rendering  # auckland T1
+        assert "5962.667" in rendering  # toronto readout length
+
+
+class TestFig4:
+    def test_optima_match(self, quick):
+        result = fig4.run(quick)
+        for task, row in result.items():
+            assert row["max_cut"] == row["paper_max_cut"]
+        assert "Max-Cut" in fig4.render(result)
+
+
+class TestFig5Quick:
+    def test_runs_and_reports(self, quick):
+        result = fig5.run(quick)
+        rendering = fig5.render(result)
+        assert "hybrid+PO" in rendering
+        assert result.hybrid_duration == 320
+        assert result.hybrid_po_duration < 320
+        assert 0.0 <= result.pulse_ar <= 1.0
+
+
+class TestTable2Quick:
+    def test_structure(self, quick):
+        result = table2.run(quick)
+        assert len(result.ars) == 3 * 2 * 4
+        assert set(result.po_durations) == {
+            "auckland",
+            "toronto",
+            "guadalupe",
+        }
+        rendering = table2.render(result)
+        assert "Raw AR" in rendering and "CVaR AR" in rendering

@@ -1,0 +1,234 @@
+"""Cross-layer integration tests.
+
+These check invariants that span multiple subsystems: transpilation
+preserves measured distributions, the pulse mixer reproduces the gate
+mixer at matched parameters, mitigation moves distributions the right
+way, and the noise knobs act in the expected direction.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends import FakeToronto
+from repro.core import (
+    ExecutionPipeline,
+    GateLevelModel,
+    HybridGatePulseModel,
+)
+from repro.problems import MaxCutProblem, three_regular_6
+from repro.simulators import simulate_statevector
+from repro.transpiler import transpile
+from repro.vqa import ExpectedCutCost
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return FakeToronto()
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return MaxCutProblem(three_regular_6())
+
+
+class TestTranspiledEquivalence:
+    def test_noise_free_counts_match_statevector(self, backend, problem):
+        model = GateLevelModel(problem)
+        logical = model.build_circuit([0.8, 0.5])
+        routed = transpile(
+            logical,
+            backend.coupling,
+            optimization_level=2,
+            initial_layout=[0, 1, 4, 7, 10, 12],
+            seed=13,
+        )
+        ideal = simulate_statevector(logical.remove_final_measurements())
+        expected_cut = float(
+            ideal.probabilities() @ problem.cut_values()
+        )
+        result = backend.run(
+            routed, shots=40_000, seed=17, with_noise=False
+        )
+        measured_cut = problem.expected_cut(result.get_counts())
+        assert measured_cut == pytest.approx(expected_cut, abs=0.08)
+
+    def test_pipeline_prepare_preserves_distribution(
+        self, backend, problem
+    ):
+        model = GateLevelModel(problem)
+        circuit = model.build_circuit([0.8, 0.5])
+        for go in (False, True):
+            pipeline = ExecutionPipeline(
+                backend=backend,
+                cost=ExpectedCutCost(problem),
+                gate_optimization=go,
+            )
+            prepared = pipeline.prepare(circuit)
+            ideal = simulate_statevector(
+                circuit.remove_final_measurements()
+            )
+            expected_cut = float(
+                ideal.probabilities() @ problem.cut_values()
+            )
+            result = backend.run(
+                prepared, shots=40_000, seed=23, with_noise=False
+            )
+            measured = problem.expected_cut(result.get_counts())
+            assert measured == pytest.approx(expected_cut, abs=0.08), go
+
+
+class TestHybridMatchesGateAtMatchedParams:
+    def test_pulse_mixer_equals_rx_mixer_noiselessly(
+        self, backend, problem
+    ):
+        """At phase 0 and no frequency shift, the hybrid model with
+        amp_for_rotation(2 beta) is the gate model's QAOA point."""
+        gamma, beta = 0.8, 0.45
+        gate_model = GateLevelModel(problem)
+        gate_circuit = gate_model.build_circuit([gamma, beta])
+
+        hybrid_model = HybridGatePulseModel(problem, backend.device)
+        amp = hybrid_model.amp_for_rotation(2 * beta)
+        hybrid_circuit = hybrid_model.build_circuit(
+            [gamma, amp, 0.0, 0.0]
+        )
+
+        gate_result = backend.run(
+            transpile(
+                gate_circuit,
+                backend.coupling,
+                initial_layout=[0, 1, 4, 7, 10, 12],
+                seed=3,
+            ),
+            shots=40_000,
+            seed=5,
+            with_noise=False,
+        )
+        hybrid_result = backend.run(
+            transpile(
+                hybrid_circuit,
+                backend.coupling,
+                initial_layout=[0, 1, 4, 7, 10, 12],
+                seed=3,
+            ),
+            shots=40_000,
+            seed=5,
+            with_noise=False,
+        )
+        gate_cut = problem.expected_cut(gate_result.get_counts())
+        hybrid_cut = problem.expected_cut(hybrid_result.get_counts())
+        # the pulse mixer has small Stark residuals, so allow a margin
+        assert hybrid_cut == pytest.approx(gate_cut, abs=0.15)
+
+
+class TestNoiseDirections:
+    def test_noise_pulls_toward_mixed_state(self, backend, problem):
+        """Depolarising noise drags the cut toward the random-guess
+        value |E|/2, so a noiselessly *good* point must get worse."""
+        model = GateLevelModel(problem)
+        # scan near the known noiseless optimum (gamma ~0.61, beta ~1.19,
+        # AR ~0.692 for K_{3,3})
+        best_point, best_cut = None, -1.0
+        for gamma in np.linspace(0.5, 0.75, 4):
+            for beta in np.linspace(1.05, 1.35, 4):
+                state = simulate_statevector(
+                    model.build_circuit(
+                        [gamma, beta]
+                    ).remove_final_measurements()
+                )
+                cut = float(state.probabilities() @ problem.cut_values())
+                if cut > best_cut:
+                    best_cut, best_point = cut, [gamma, beta]
+        assert best_cut > 5.5  # well above |E|/2 = 4.5
+
+        circuit = model.build_circuit(best_point)
+        pipeline = ExecutionPipeline(
+            backend=backend, cost=ExpectedCutCost(problem), shots=8192
+        )
+        prepared = pipeline.prepare(circuit)
+        noisy = problem.expected_cut(
+            backend.run(prepared, shots=8192, seed=7).get_counts()
+        )
+        clean = problem.expected_cut(
+            backend.run(
+                prepared, shots=8192, seed=7, with_noise=False
+            ).get_counts()
+        )
+        assert noisy < clean
+
+    def test_m3_moves_toward_no_readout(self, backend, problem):
+        from repro.mitigation import M3Mitigator
+
+        model = GateLevelModel(problem)
+        circuit = model.build_circuit([0.8, 0.5])
+        pipeline = ExecutionPipeline(
+            backend=backend, cost=ExpectedCutCost(problem), shots=20_000
+        )
+        prepared = pipeline.prepare(circuit)
+        with_ro = backend.run(prepared, shots=20_000, seed=29)
+        without_ro = backend.run(
+            prepared, shots=20_000, seed=29, with_readout_error=False
+        )
+        reference = problem.expected_cut(without_ro.get_counts())
+        raw = problem.expected_cut(with_ro.get_counts())
+
+        experiment = with_ro.experiments[0]
+        clbit_map = experiment.metadata["clbit_to_qubit"]
+        physical = [clbit_map[c] for c in sorted(clbit_map)]
+        mitigator = M3Mitigator.from_backend(backend, physical)
+        mitigated = mitigator.apply(
+            experiment.counts
+        ).nearest_probability_distribution()
+        recovered = problem.expected_cut(mitigated)
+        assert abs(recovered - reference) < abs(raw - reference)
+
+    def test_zz_crosstalk_matters(self, problem):
+        backend_zz = FakeToronto()
+        backend_no_zz = FakeToronto()
+        backend_no_zz.noise_model.zz_crosstalk_ghz = 0.0
+        model = GateLevelModel(problem)
+        circuit = model.build_circuit([0.8, 0.5])
+        pipeline = ExecutionPipeline(
+            backend=backend_zz, cost=ExpectedCutCost(problem)
+        )
+        prepared = pipeline.prepare(circuit)
+        with_zz = backend_zz.run(
+            prepared, shots=4096, seed=31
+        ).get_counts()
+        without_zz = backend_no_zz.run(
+            prepared, shots=4096, seed=31
+        ).get_counts()
+        assert with_zz != without_zz
+
+    def test_jitter_randomises_pulse_circuits(self, backend, problem):
+        model = HybridGatePulseModel(problem, backend.device)
+        circuit = model.build_circuit([0.8, 0.3, 0.2, 0.1])
+        pipeline = ExecutionPipeline(
+            backend=backend, cost=ExpectedCutCost(problem)
+        )
+        prepared = pipeline.prepare(circuit)
+        # different seeds draw different jitter realisations
+        a = backend.run(prepared, shots=2048, seed=1).get_counts()
+        b = backend.run(prepared, shots=2048, seed=2).get_counts()
+        assert a != b
+
+
+class TestDurationAccounting:
+    def test_hybrid_mixer_shortens_circuit(self, backend, problem):
+        gate_model = GateLevelModel(problem)
+        hybrid_model = HybridGatePulseModel(
+            problem, backend.device, mixer_duration=128
+        )
+        pipeline = ExecutionPipeline(
+            backend=backend, cost=ExpectedCutCost(problem), shots=64
+        )
+        gate_exp = pipeline.execute(
+            gate_model.build_circuit([0.8, 0.5]), seed=1
+        )
+        hybrid_exp = pipeline.execute(
+            hybrid_model.build_circuit([0.8, 0.2, 0.0, 0.0]), seed=1
+        )
+        # same H layer; mixer 128 dt vs 320 dt => shorter total
+        assert hybrid_exp.duration < gate_exp.duration

@@ -1,0 +1,170 @@
+"""Tests for Max-Cut, Ising encodings, and the benchmark graphs."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProblemError
+from repro.problems import (
+    IsingModel,
+    MaxCutProblem,
+    benchmark_graph,
+    erdos_renyi_6,
+    maxcut_to_ising,
+    random_regular_graph,
+    three_regular_6,
+    three_regular_8,
+)
+
+
+class TestBenchmarkGraphs:
+    def test_task1_paper_optimum(self):
+        problem = MaxCutProblem(three_regular_6())
+        assert problem.maximum_cut() == 9  # paper Fig. 4(1)
+
+    def test_task2_paper_optimum(self):
+        problem = MaxCutProblem(erdos_renyi_6())
+        assert problem.maximum_cut() == 8  # paper Fig. 4(2)
+
+    def test_task3_paper_optimum(self):
+        problem = MaxCutProblem(three_regular_8())
+        assert problem.maximum_cut() == 10  # paper Fig. 4(3)
+
+    def test_task1_is_3_regular(self):
+        graph = three_regular_6()
+        assert all(d == 3 for _, d in graph.degree())
+
+    def test_task3_is_3_regular(self):
+        graph = three_regular_8()
+        assert all(d == 3 for _, d in graph.degree())
+
+    def test_task1_is_bipartite(self):
+        # Max-Cut 9 == all edges cut, so the graph must be bipartite
+        assert nx.is_bipartite(three_regular_6())
+
+    def test_benchmark_graph_selector(self):
+        assert benchmark_graph(1).number_of_nodes() == 6
+        assert benchmark_graph(3).number_of_nodes() == 8
+        with pytest.raises(ProblemError):
+            benchmark_graph(4)
+
+    def test_random_regular(self):
+        graph = random_regular_graph(3, 10, seed=1)
+        assert all(d == 3 for _, d in graph.degree())
+        with pytest.raises(ProblemError):
+            random_regular_graph(3, 7)
+
+
+class TestMaxCutProblem:
+    def test_cut_value_int_and_string(self):
+        problem = MaxCutProblem(three_regular_6())
+        # alternating partition of the bipartite M6: cuts all ring edges
+        assert problem.cut_value(0b010101) == 9
+        assert problem.cut_value("010101") == 9
+        assert problem.cut_value(0) == 0
+
+    def test_cut_values_vector(self):
+        problem = MaxCutProblem(three_regular_6())
+        values = problem.cut_values()
+        assert values.shape == (64,)
+        assert values.max() == 9
+        assert values[0] == 0
+
+    def test_optimal_configurations_complementary(self):
+        problem = MaxCutProblem(three_regular_6())
+        optima = problem.optimal_configurations()
+        assert len(optima) == 2
+        assert optima[0] ^ optima[1] == 0b111111  # complements
+
+    def test_expected_cut(self):
+        problem = MaxCutProblem(three_regular_6())
+        counts = {"010101": 50, "000000": 50}
+        assert problem.expected_cut(counts) == pytest.approx(4.5)
+
+    def test_cvar_selects_best_fraction(self):
+        problem = MaxCutProblem(three_regular_6())
+        counts = {"010101": 30, "000000": 70}
+        # best 30% of shots are all optimal
+        assert problem.cvar_cut(counts, 0.3) == pytest.approx(9.0)
+        # alpha=1 reduces to the expectation
+        assert problem.cvar_cut(counts, 1.0) == pytest.approx(
+            problem.expected_cut(counts)
+        )
+
+    def test_cvar_partial_bucket(self):
+        problem = MaxCutProblem(three_regular_6())
+        counts = {"010101": 10, "000000": 90}
+        # best 20% = 10 optimal shots + 10 zero-cut shots
+        assert problem.cvar_cut(counts, 0.2) == pytest.approx(4.5)
+
+    def test_cvar_alpha_bounds(self):
+        problem = MaxCutProblem(three_regular_6())
+        with pytest.raises(ProblemError):
+            problem.cvar_cut({"000000": 1}, 0.0)
+
+    def test_approximation_ratio(self):
+        problem = MaxCutProblem(three_regular_6())
+        assert problem.approximation_ratio(4.5) == pytest.approx(0.5)
+
+    def test_weighted_graph(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=2.5)
+        problem = MaxCutProblem(graph)
+        assert problem.maximum_cut() == pytest.approx(2.5)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ProblemError):
+            MaxCutProblem(nx.Graph())
+
+    def test_bad_labels_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        with pytest.raises(ProblemError):
+            MaxCutProblem(graph)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_cvar_at_least_expectation_property(self, seed):
+        rng = np.random.default_rng(seed)
+        problem = MaxCutProblem(three_regular_6())
+        keys = [format(i, "06b") for i in rng.integers(0, 64, 6)]
+        counts = {k: int(c) for k, c in zip(keys, rng.integers(1, 100, 6))}
+        expectation = problem.expected_cut(counts)
+        cvar = problem.cvar_cut(counts, 0.3)
+        assert cvar >= expectation - 1e-9
+
+
+class TestIsing:
+    def test_maxcut_energy_is_negative_cut(self):
+        problem = MaxCutProblem(three_regular_6())
+        ising = maxcut_to_ising(problem.graph)
+        for config in (0, 0b010101, 0b111111, 0b001011):
+            assert ising.energy(config) == pytest.approx(
+                -problem.cut_value(config)
+            )
+
+    def test_diagonal_matches_energy(self):
+        ising = maxcut_to_ising(erdos_renyi_6())
+        diag = ising.diagonal()
+        for config in (0, 5, 17, 63):
+            assert diag[config] == pytest.approx(ising.energy(config))
+
+    def test_ground_state_energy(self):
+        problem = MaxCutProblem(three_regular_8())
+        ising = problem.to_ising()
+        assert ising.ground_state_energy() == pytest.approx(-10.0)
+
+    def test_fields(self):
+        ising = IsingModel(2, {(0, 1): 1.0}, fields={0: 0.5})
+        # |00>: z0=z1=+1 -> 1.0 + 0.5
+        assert ising.energy(0) == pytest.approx(1.5)
+        # |01>: z0=-1 -> coupling -1, field -0.5
+        assert ising.energy(1) == pytest.approx(-1.5)
+
+    def test_validation(self):
+        with pytest.raises(ProblemError):
+            IsingModel(2, {(0, 0): 1.0})
+        with pytest.raises(ProblemError):
+            IsingModel(2, {(0, 5): 1.0})

@@ -1,0 +1,230 @@
+"""Unit tests for the pulse IR: waveforms, channels, instructions, schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Parameter
+from repro.exceptions import PulseError
+from repro.pulse import (
+    Acquire,
+    Constant,
+    ControlChannel,
+    Delay,
+    Drag,
+    DriveChannel,
+    Gaussian,
+    GaussianSquare,
+    MeasureChannel,
+    Play,
+    Schedule,
+    SetFrequency,
+    ShiftFrequency,
+    ShiftPhase,
+)
+
+
+class TestChannels:
+    def test_equality_and_hash(self):
+        assert DriveChannel(0) == DriveChannel(0)
+        assert DriveChannel(0) != DriveChannel(1)
+        assert DriveChannel(0) != ControlChannel(0)
+        assert len({DriveChannel(0), DriveChannel(0), ControlChannel(0)}) == 2
+
+    def test_repr(self):
+        assert repr(DriveChannel(3)) == "d3"
+        assert repr(ControlChannel(1)) == "u1"
+        assert repr(MeasureChannel(2)) == "m2"
+
+    def test_bad_index(self):
+        with pytest.raises(PulseError):
+            DriveChannel(-1)
+
+    def test_sorting(self):
+        chans = sorted([DriveChannel(1), ControlChannel(0), DriveChannel(0)])
+        assert repr(chans[0]) == "d0"
+
+
+class TestWaveforms:
+    def test_constant_samples(self):
+        pulse = Constant(32, 0.5)
+        samples = pulse.samples()
+        assert len(samples) == 32
+        np.testing.assert_allclose(samples, 0.5)
+
+    def test_constant_angle(self):
+        pulse = Constant(32, 0.5, angle=np.pi / 2)
+        np.testing.assert_allclose(pulse.samples(), 0.5j, atol=1e-12)
+
+    def test_gaussian_lifted_edges(self):
+        pulse = Gaussian(160, 1.0, 40)
+        samples = pulse.samples()
+        assert len(samples) == 160
+        assert abs(samples[0]) < 0.02  # lifted to ~0 at edges
+        assert abs(samples[-1]) < 0.02
+        assert np.max(np.abs(samples)) == pytest.approx(1.0, abs=0.01)
+
+    def test_gaussian_granularity(self):
+        with pytest.raises(PulseError):
+            Gaussian(48, 0.5, 12)  # not multiple of 32
+
+    def test_gaussian_square_flat_top(self):
+        pulse = GaussianSquare(256, 0.8, 32, width=128)
+        samples = pulse.samples()
+        mid = samples[len(samples) // 2]
+        assert abs(mid) == pytest.approx(0.8, abs=1e-6)
+        assert abs(samples[0]) < 0.02
+        # flat region is flat
+        center = np.arange(80, 176)
+        np.testing.assert_allclose(np.abs(samples[center]), 0.8, atol=1e-9)
+
+    def test_gaussian_square_width_bounds(self):
+        with pytest.raises(PulseError):
+            GaussianSquare(128, 0.5, 32, width=200)
+
+    def test_drag_quadrature(self):
+        pulse = Drag(160, 0.5, 40, beta=0.2)
+        samples = pulse.samples()
+        assert np.max(np.abs(samples.imag)) > 0
+        # imaginary part is odd about the center -> integrates to ~0
+        assert abs(np.sum(samples.imag)) < 1e-6
+
+    def test_amp_limit(self):
+        with pytest.raises(PulseError):
+            Constant(32, 1.2)
+        with pytest.raises(PulseError):
+            Gaussian(64, -1.1, 16)
+
+    def test_area_scales_with_amp(self):
+        a1 = Gaussian(160, 0.2, 40).area()
+        a2 = Gaussian(160, 0.4, 40).area()
+        assert a2.real == pytest.approx(2 * a1.real, rel=1e-9)
+
+    def test_parametric_amp(self):
+        amp = Parameter("amp")
+        pulse = Gaussian(160, amp, 40)
+        assert pulse.is_parameterized
+        with pytest.raises(Exception):
+            pulse.samples()
+        bound = pulse.assign_parameters({amp: 0.3})
+        assert not bound.is_parameterized
+        assert np.max(np.abs(bound.samples())) == pytest.approx(0.3, abs=0.01)
+
+    def test_parametric_amp_validated_on_bind(self):
+        amp = Parameter("amp")
+        pulse = Gaussian(160, amp, 40)
+        with pytest.raises(PulseError):
+            pulse.assign_parameters({amp: 1.5})
+
+    def test_bad_durations(self):
+        with pytest.raises(PulseError):
+            Constant(0, 0.5)
+        with pytest.raises(PulseError):
+            Constant(-32, 0.5)
+        with pytest.raises(PulseError):
+            Constant(33, 0.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        duration=st.sampled_from([32, 64, 96, 128, 160, 320]),
+        amp=st.floats(0.05, 1.0),
+    )
+    def test_gaussian_peak_bounded_by_amp(self, duration, amp):
+        pulse = Gaussian(duration, amp, duration / 4)
+        assert pulse.max_amplitude() <= amp + 1e-9
+
+
+class TestSchedule:
+    def test_append_sequences_on_channel(self):
+        d0 = DriveChannel(0)
+        sched = Schedule()
+        sched.append(Play(Constant(32, 0.1), d0))
+        sched.append(Play(Constant(64, 0.1), d0))
+        assert sched.duration == 96
+        starts = [t for t, _ in sched.channel_timeline(d0)]
+        assert starts == [0, 32]
+
+    def test_parallel_channels_independent(self):
+        sched = Schedule()
+        sched.append(Play(Constant(32, 0.1), DriveChannel(0)))
+        sched.append(Play(Constant(64, 0.1), DriveChannel(1)))
+        assert sched.duration == 64
+        assert sched.channel_duration(DriveChannel(0)) == 32
+
+    def test_overlap_rejected(self):
+        d0 = DriveChannel(0)
+        sched = Schedule()
+        sched.insert(0, Play(Constant(64, 0.1), d0))
+        with pytest.raises(PulseError):
+            sched.insert(32, Play(Constant(64, 0.1), d0))
+
+    def test_zero_duration_never_overlaps(self):
+        d0 = DriveChannel(0)
+        sched = Schedule()
+        sched.insert(0, Play(Constant(64, 0.1), d0))
+        sched.insert(32, ShiftPhase(0.5, d0))  # fine: zero duration
+        assert len(sched) == 2
+
+    def test_alignment_enforced(self):
+        d0 = DriveChannel(0)
+        sched = Schedule()
+        with pytest.raises(PulseError):
+            sched.insert(8, Play(Constant(32, 0.1), d0))
+
+    def test_shift_and_union(self):
+        d0, d1 = DriveChannel(0), DriveChannel(1)
+        a = Schedule((0, Play(Constant(32, 0.1), d0)))
+        b = Schedule((0, Play(Constant(32, 0.2), d1)))
+        merged = a | b.shift(32)
+        assert merged.duration == 64
+        assert len(merged.channels) == 2
+
+    def test_then_sequential(self):
+        d0 = DriveChannel(0)
+        a = Schedule((0, Play(Constant(32, 0.1), d0)))
+        b = Schedule((0, Play(Constant(32, 0.2), d0)))
+        combined = a + b
+        starts = [t for t, _ in combined.channel_timeline(d0)]
+        assert starts == [0, 32]
+
+    def test_filter(self):
+        sched = Schedule()
+        sched.append(Play(Constant(32, 0.1), DriveChannel(0)))
+        sched.append(Play(Constant(32, 0.1), DriveChannel(1)))
+        only0 = sched.filter([DriveChannel(0)])
+        assert only0.channels == [DriveChannel(0)]
+
+    def test_parametric_schedule_binding(self):
+        amp = Parameter("amp")
+        phi = Parameter("phi")
+        d0 = DriveChannel(0)
+        sched = Schedule()
+        sched.append(ShiftPhase(phi, d0))
+        sched.append(Play(Gaussian(160, amp, 40), d0))
+        assert sched.parameters == {amp, phi}
+        bound = sched.assign_parameters({amp: 0.4, phi: 1.0})
+        assert not bound.is_parameterized
+        # sequence binding follows sorted-name order
+        bound2 = sched.assign_parameters([0.4, 1.0])
+        assert not bound2.is_parameterized
+
+    def test_bind_wrong_length(self):
+        amp = Parameter("amp")
+        sched = Schedule((0, Play(Gaussian(160, amp, 40), DriveChannel(0))))
+        with pytest.raises(PulseError):
+            sched.assign_parameters([0.1, 0.2])
+
+    def test_instructions(self):
+        d0 = DriveChannel(0)
+        sched = Schedule()
+        sched.append(SetFrequency(5.1, d0))
+        sched.append(ShiftFrequency(-0.05, d0))
+        sched.append(Delay(32, d0))
+        sched.append(Acquire(128, MeasureChannel(0)))
+        # delay ends at 32 on d0; acquire spans [0, 128) on m0
+        assert sched.duration == 128
+
+    def test_delay_alignment(self):
+        with pytest.raises(PulseError):
+            Delay(10, DriveChannel(0))

@@ -1,0 +1,180 @@
+"""OpenQASM 2 round-trip tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    QuantumCircuit,
+    circuit_from_qasm,
+    circuit_to_qasm,
+)
+from repro.exceptions import QasmError
+from repro.simulators import circuit_to_unitary
+from repro.utils.linalg import process_fidelity
+
+
+class TestExport:
+    def test_header(self):
+        qasm = circuit_to_qasm(QuantumCircuit(2, 2))
+        assert "OPENQASM 2.0;" in qasm
+        assert "qreg q[2];" in qasm
+        assert "creg c[2];" in qasm
+
+    def test_gates_and_measure(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.rz(math.pi / 2, 0)
+        qc.measure(0, 0)
+        qasm = circuit_to_qasm(qc)
+        assert "h q[0];" in qasm
+        assert "cx q[0],q[1];" in qasm
+        assert "rz(pi/2) q[0];" in qasm
+        assert "measure q[0] -> c[0];" in qasm
+
+    def test_pi_formatting(self):
+        qc = QuantumCircuit(1)
+        qc.rx(-math.pi, 0)
+        qc.ry(3 * math.pi / 4, 0)
+        qasm = circuit_to_qasm(qc)
+        assert "rx(-pi)" in qasm
+        assert "ry(3*pi/4)" in qasm
+
+    def test_unbound_parameter_rejected(self):
+        from repro.circuits import Parameter
+
+        qc = QuantumCircuit(1)
+        qc.rx(Parameter("t"), 0)
+        with pytest.raises(QasmError):
+            circuit_to_qasm(qc)
+
+    def test_barrier(self):
+        qc = QuantumCircuit(2)
+        qc.barrier()
+        assert "barrier q[0],q[1];" in circuit_to_qasm(qc)
+
+
+class TestImport:
+    def test_basic_parse(self):
+        qasm = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[2];
+        creg c[2];
+        h q[0];
+        cx q[0],q[1];
+        measure q[0] -> c[0];
+        measure q[1] -> c[1];
+        """
+        qc = circuit_from_qasm(qasm)
+        assert qc.num_qubits == 2
+        ops = qc.count_ops()
+        assert ops["h"] == 1 and ops["cx"] == 1 and ops["measure"] == 2
+
+    def test_angle_expressions(self):
+        qasm = """
+        OPENQASM 2.0;
+        qreg q[1];
+        rx(pi/2) q[0];
+        rz(-pi/4) q[0];
+        ry(0.125) q[0];
+        u(pi/2, 0, pi) q[0];
+        """
+        qc = circuit_from_qasm(qasm)
+        angles = [inst.operation.params for inst in qc.instructions]
+        assert angles[0][0] == pytest.approx(math.pi / 2)
+        assert angles[1][0] == pytest.approx(-math.pi / 4)
+        assert angles[2][0] == pytest.approx(0.125)
+
+    def test_register_broadcast(self):
+        qasm = """
+        OPENQASM 2.0;
+        qreg q[3];
+        h q;
+        """
+        qc = circuit_from_qasm(qasm)
+        assert qc.count_ops()["h"] == 3
+
+    def test_full_register_measure(self):
+        qasm = """
+        OPENQASM 2.0;
+        qreg q[2];
+        creg c[2];
+        measure q -> c;
+        """
+        qc = circuit_from_qasm(qasm)
+        assert qc.count_ops()["measure"] == 2
+
+    def test_multiple_registers_offset(self):
+        qasm = """
+        OPENQASM 2.0;
+        qreg a[1];
+        qreg b[2];
+        x b[1];
+        """
+        qc = circuit_from_qasm(qasm)
+        assert qc.num_qubits == 3
+        assert qc.instructions[0].qubits == (2,)
+
+    def test_comments_stripped(self):
+        qasm = """
+        OPENQASM 2.0;
+        // a comment
+        qreg q[1];
+        x q[0]; // trailing comment
+        """
+        assert circuit_from_qasm(qasm).count_ops()["x"] == 1
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm("qreg q[1]; zz q[0];")
+
+    def test_unsupported_construct(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm(
+                "qreg q[1]; gate mygate a { x a; } mygate q[0];"
+            )
+
+    def test_code_injection_blocked(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm(
+                'qreg q[1]; rx(__import__("os").getcwd()) q[0];'
+            )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_circuit_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = QuantumCircuit(3)
+        one_qubit = ["h", "x", "s", "t", "sx"]
+        for _ in range(12):
+            kind = rng.integers(3)
+            if kind == 0:
+                from repro.circuits import standard_gate
+
+                qc.append(
+                    standard_gate(str(rng.choice(one_qubit))),
+                    [int(rng.integers(3))],
+                )
+            elif kind == 1:
+                qc.rz(float(rng.normal()), int(rng.integers(3)))
+            else:
+                a, b = rng.choice(3, size=2, replace=False)
+                qc.cx(int(a), int(b))
+        restored = circuit_from_qasm(circuit_to_qasm(qc))
+        assert process_fidelity(
+            circuit_to_unitary(restored), circuit_to_unitary(qc)
+        ) > 1 - 1e-9
+
+    def test_roundtrip_with_measures(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.measure(0, 0)
+        qc.measure(1, 1)
+        restored = circuit_from_qasm(circuit_to_qasm(qc))
+        assert restored.count_ops() == qc.count_ops()
+        assert restored.num_clbits == 2

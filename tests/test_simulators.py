@@ -1,0 +1,233 @@
+"""Tests for statevector / unitary / density-matrix simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import SimulatorError
+from repro.simulators import (
+    DensityMatrix,
+    Statevector,
+    circuit_to_unitary,
+    counts_to_probabilities,
+    sample_counts,
+    simulate_statevector,
+)
+from repro.simulators.sampler import counts_to_vector
+
+
+class TestStatevector:
+    def test_zero_state(self):
+        state = Statevector(2)
+        assert state.num_qubits == 2
+        assert state.probability_dict() == {"00": 1.0}
+
+    def test_from_label(self):
+        plus = Statevector.from_label("+")
+        np.testing.assert_allclose(
+            plus.probabilities(), [0.5, 0.5], atol=1e-12
+        )
+        state = Statevector.from_label("10")  # qubit0='0', qubit1='1'
+        assert state.probability_dict() == {"10": 1.0}
+
+    def test_bad_label(self):
+        with pytest.raises(SimulatorError):
+            Statevector.from_label("2")
+
+    def test_bad_length(self):
+        with pytest.raises(SimulatorError):
+            Statevector(np.ones(3))
+
+    def test_bell_state(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        state = simulate_statevector(qc)
+        probs = state.probability_dict()
+        assert probs["00"] == pytest.approx(0.5)
+        assert probs["11"] == pytest.approx(0.5)
+
+    def test_ghz_state(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).cx(1, 2)
+        state = simulate_statevector(qc)
+        probs = state.probability_dict()
+        assert set(probs) == {"000", "111"}
+
+    def test_expectation_diagonal(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        state = simulate_statevector(qc)
+        z_diag = np.array([1.0, -1.0])
+        assert state.expectation_value(
+            np.diag(z_diag)
+        ).real == pytest.approx(0.0, abs=1e-12)
+        assert state.expectation_diagonal(z_diag) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_expectation_operator_on_subset(self):
+        qc = QuantumCircuit(2)
+        qc.x(1)
+        state = simulate_statevector(qc)
+        z = np.diag([1.0, -1.0])
+        assert state.expectation_value(z, [0]).real == pytest.approx(1.0)
+        assert state.expectation_value(z, [1]).real == pytest.approx(-1.0)
+
+    def test_sampling_deterministic_state(self):
+        state = Statevector.from_label("01")
+        counts = state.sample_counts(100, seed=1)
+        assert counts == {"01": 100}
+
+    def test_sampling_statistics(self):
+        state = Statevector.from_label("+")
+        counts = state.sample_counts(10_000, seed=3)
+        assert abs(counts["0"] - 5000) < 300
+
+    def test_global_phase_applied(self):
+        qc = QuantumCircuit(1)
+        qc.global_phase = np.pi / 2
+        state = simulate_statevector(qc)
+        assert state.data[0] == pytest.approx(1j)
+
+    def test_initial_state_mismatch(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(SimulatorError):
+            simulate_statevector(qc, initial_state=Statevector(1))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_norm_invariant_property(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = QuantumCircuit(3)
+        for _ in range(10):
+            q = int(rng.integers(3))
+            qc.rx(float(rng.normal()), q)
+            qc.rz(float(rng.normal()), q)
+        a, b = rng.choice(3, size=2, replace=False)
+        qc.cx(int(a), int(b))
+        state = simulate_statevector(qc)
+        assert np.isclose(state.norm, 1.0)
+
+
+class TestUnitarySimulator:
+    def test_identity(self):
+        qc = QuantumCircuit(2)
+        np.testing.assert_allclose(circuit_to_unitary(qc), np.eye(4))
+
+    def test_matches_statevector(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).rz(0.3, 1)
+        u = circuit_to_unitary(qc)
+        state = simulate_statevector(qc)
+        np.testing.assert_allclose(u[:, 0], state.data, atol=1e-12)
+
+    def test_measure_rejected(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        with pytest.raises(SimulatorError):
+            circuit_to_unitary(qc)
+
+
+class TestDensityMatrix:
+    def test_pure_state_init(self):
+        state = Statevector.from_label("1")
+        rho = DensityMatrix(state)
+        assert rho.purity() == pytest.approx(1.0)
+        assert rho.probability_dict() == {"1": 1.0}
+
+    def test_apply_unitary_matches_statevector(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        rho = DensityMatrix(2)
+        for inst in qc.instructions:
+            rho.apply_unitary(inst.operation.matrix(), inst.qubits)
+        state = simulate_statevector(qc)
+        np.testing.assert_allclose(
+            rho.data, np.outer(state.data, state.data.conj()), atol=1e-12
+        )
+
+    def test_depolarizing_reduces_purity(self):
+        from repro.noise import depolarizing_channel
+
+        rho = DensityMatrix(Statevector.from_label("+"))
+        channel = depolarizing_channel(0.2, 1)
+        rho.apply_kraus(channel.kraus_ops, [0])
+        assert rho.purity() < 1.0
+        assert rho.trace() == pytest.approx(1.0)
+
+    def test_full_depolarizing_gives_mixed(self):
+        from repro.noise import depolarizing_channel
+
+        rho = DensityMatrix(Statevector.from_label("0"))
+        channel = depolarizing_channel(1.0, 1)
+        rho.apply_kraus(channel.kraus_ops, [0])
+        np.testing.assert_allclose(rho.data, np.eye(2) / 2, atol=1e-12)
+
+    def test_amplitude_damping_fixed_point(self):
+        from repro.noise import amplitude_damping_channel
+
+        rho = DensityMatrix(Statevector.from_label("1"))
+        channel = amplitude_damping_channel(1.0)
+        rho.apply_kraus(channel.kraus_ops, [0])
+        assert rho.probability_dict() == {"0": pytest.approx(1.0)}
+
+    def test_reduce(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        rho = DensityMatrix(2)
+        for inst in qc.instructions:
+            rho.apply_unitary(inst.operation.matrix(), inst.qubits)
+        reduced = rho.reduce([0])
+        np.testing.assert_allclose(reduced.data, np.eye(2) / 2, atol=1e-12)
+
+    def test_fidelity_with_state(self):
+        state = Statevector.from_label("+")
+        rho = DensityMatrix(state)
+        assert rho.fidelity_with_state(state) == pytest.approx(1.0)
+        assert rho.fidelity_with_state(
+            Statevector.from_label("-")
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_sample_counts(self):
+        rho = DensityMatrix(Statevector.from_label("+"))
+        counts = rho.sample_counts(2000, seed=5)
+        assert abs(counts["0"] - 1000) < 150
+
+    def test_expectation_diagonal(self):
+        rho = DensityMatrix(Statevector.from_label("1"))
+        assert rho.expectation_diagonal(
+            np.array([1.0, -1.0])
+        ) == pytest.approx(-1.0)
+
+
+class TestSampler:
+    def test_sample_counts_normalises(self):
+        probs = np.array([2.0, 2.0])  # unnormalised on purpose
+        counts = sample_counts(probs, 1000, seed=0)
+        assert sum(counts.values()) == 1000
+
+    def test_sample_counts_bad_length(self):
+        with pytest.raises(SimulatorError):
+            sample_counts(np.ones(3), 10)
+
+    def test_negative_probabilities_rejected(self):
+        with pytest.raises(SimulatorError):
+            sample_counts(np.array([0.5, -0.5]), 10)
+
+    def test_counts_to_probabilities(self):
+        probs = counts_to_probabilities({"00": 30, "11": 70})
+        assert probs["11"] == pytest.approx(0.7)
+
+    def test_counts_to_vector(self):
+        vec = counts_to_vector({"01": 3, "10": 5}, 2)
+        np.testing.assert_allclose(vec, [0, 3, 5, 0])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4), st.integers(0, 500))
+    def test_total_shots_preserved(self, num_bits, seed):
+        rng = np.random.default_rng(seed)
+        probs = rng.random(1 << num_bits)
+        counts = sample_counts(probs, 777, seed=seed)
+        assert sum(counts.values()) == 777

@@ -1,0 +1,239 @@
+"""Unit tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.linalg import (
+    apply_matrix_to_qubits,
+    close_to_identity,
+    embed_matrix,
+    is_hermitian,
+    is_unitary,
+    kron_all,
+    partial_trace,
+    process_fidelity,
+    projector,
+    state_fidelity,
+    tensor_eye,
+)
+
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+CX = np.array(
+    [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
+)
+
+
+def random_state(num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    vec = rng.normal(size=1 << num_qubits) + 1j * rng.normal(
+        size=1 << num_qubits
+    )
+    return vec / np.linalg.norm(vec)
+
+
+def random_unitary(dim, seed):
+    rng = np.random.default_rng(seed)
+    mat = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, _ = np.linalg.qr(mat)
+    return q
+
+
+class TestKron:
+    def test_kron_all_single(self):
+        np.testing.assert_allclose(kron_all([X]), X)
+
+    def test_kron_all_order(self):
+        # last entry acts on qubit 0
+        out = kron_all([Z, X])
+        expected = np.kron(Z, X)
+        np.testing.assert_allclose(out, expected)
+
+    def test_kron_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            kron_all([])
+
+    def test_tensor_eye(self):
+        np.testing.assert_allclose(tensor_eye(3), np.eye(8))
+
+
+class TestEmbed:
+    def test_embed_single_qubit_lsb(self):
+        # X on qubit 0 of 2 -> I ⊗ X (little-endian: kron(I, X))
+        out = embed_matrix(X, [0], 2)
+        np.testing.assert_allclose(out, np.kron(np.eye(2), X))
+
+    def test_embed_single_qubit_msb(self):
+        out = embed_matrix(X, [1], 2)
+        np.testing.assert_allclose(out, np.kron(X, np.eye(2)))
+
+    def test_embed_two_qubit_ordered(self):
+        out = embed_matrix(CX, [0, 1], 2)
+        np.testing.assert_allclose(out, CX)
+
+    def test_embed_two_qubit_swapped(self):
+        # CX with control=1, target=0
+        out = embed_matrix(CX, [1, 0], 2)
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+            dtype=complex,
+        )
+        np.testing.assert_allclose(out, expected)
+
+    def test_embed_bad_shape(self):
+        with pytest.raises(ValueError):
+            embed_matrix(X, [0, 1], 2)
+
+    def test_embed_duplicate_qubits(self):
+        with pytest.raises(ValueError):
+            embed_matrix(CX, [0, 0], 2)
+
+    def test_embed_out_of_range(self):
+        with pytest.raises(ValueError):
+            embed_matrix(X, [3], 2)
+
+
+class TestApply:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3, 4])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_embed_single(self, num_qubits, seed):
+        state = random_state(num_qubits, seed)
+        for q in range(num_qubits):
+            via_apply = apply_matrix_to_qubits(H, state, [q], num_qubits)
+            via_embed = embed_matrix(H, [q], num_qubits) @ state
+            np.testing.assert_allclose(via_apply, via_embed, atol=1e-12)
+
+    @pytest.mark.parametrize("qubits", [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2)])
+    def test_matches_embed_two_qubit(self, qubits):
+        state = random_state(3, 42)
+        u = random_unitary(4, 7)
+        via_apply = apply_matrix_to_qubits(u, state, qubits, 3)
+        via_embed = embed_matrix(u, qubits, 3) @ state
+        np.testing.assert_allclose(via_apply, via_embed, atol=1e-12)
+
+    def test_three_qubit_matrix(self):
+        state = random_state(4, 3)
+        u = random_unitary(8, 9)
+        qubits = (2, 0, 3)
+        via_apply = apply_matrix_to_qubits(u, state, qubits, 4)
+        via_embed = embed_matrix(u, qubits, 4) @ state
+        np.testing.assert_allclose(via_apply, via_embed, atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        qubit=st.integers(0, 3),
+    )
+    def test_norm_preserved_property(self, seed, qubit):
+        state = random_state(4, seed)
+        u = random_unitary(2, seed + 1)
+        out = apply_matrix_to_qubits(u, state, [qubit], 4)
+        assert np.isclose(np.linalg.norm(out), 1.0)
+
+
+class TestPartialTrace:
+    def test_product_state(self):
+        plus = np.array([1, 1], dtype=complex) / np.sqrt(2)
+        zero = np.array([1, 0], dtype=complex)
+        state = np.kron(zero, plus)  # qubit0=plus, qubit1=zero
+        rho = np.outer(state, state.conj())
+        reduced = partial_trace(rho, [0], 2)
+        np.testing.assert_allclose(
+            reduced, np.outer(plus, plus.conj()), atol=1e-12
+        )
+        reduced1 = partial_trace(rho, [1], 2)
+        np.testing.assert_allclose(
+            reduced1, np.outer(zero, zero.conj()), atol=1e-12
+        )
+
+    def test_bell_state_maximally_mixed(self):
+        bell = np.zeros(4, dtype=complex)
+        bell[0] = bell[3] = 1 / np.sqrt(2)
+        rho = np.outer(bell, bell.conj())
+        for keep in ([0], [1]):
+            reduced = partial_trace(rho, keep, 2)
+            np.testing.assert_allclose(reduced, np.eye(2) / 2, atol=1e-12)
+
+    def test_keep_order(self):
+        state = random_state(3, 5)
+        rho = np.outer(state, state.conj())
+        r01 = partial_trace(rho, [0, 1], 3)
+        r10 = partial_trace(rho, [1, 0], 3)
+        # swapping the kept qubits permutes basis indices 1 and 2
+        perm = np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]]
+        )
+        np.testing.assert_allclose(r10, perm @ r01 @ perm.T, atol=1e-12)
+
+    def test_trace_preserved(self):
+        state = random_state(4, 8)
+        rho = np.outer(state, state.conj())
+        reduced = partial_trace(rho, [1, 3], 4)
+        assert np.isclose(np.trace(reduced).real, 1.0)
+
+    def test_keep_all_is_identity_map(self):
+        state = random_state(2, 11)
+        rho = np.outer(state, state.conj())
+        np.testing.assert_allclose(
+            partial_trace(rho, [0, 1], 2), rho, atol=1e-12
+        )
+
+    def test_bad_args(self):
+        rho = np.eye(4) / 4
+        with pytest.raises(ValueError):
+            partial_trace(rho, [0, 0], 2)
+        with pytest.raises(ValueError):
+            partial_trace(rho, [5], 2)
+        with pytest.raises(ValueError):
+            partial_trace(np.eye(3), [0], 2)
+
+
+class TestPredicates:
+    def test_is_unitary(self):
+        assert is_unitary(H)
+        assert is_unitary(CX)
+        assert not is_unitary(np.array([[1, 1], [0, 1]]))
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_is_hermitian(self):
+        assert is_hermitian(X)
+        assert is_hermitian(Z)
+        assert not is_hermitian(1j * X)
+
+    def test_close_to_identity_phase(self):
+        assert close_to_identity(np.exp(0.3j) * np.eye(4))
+        assert not close_to_identity(CX)
+        assert not close_to_identity(Z)  # traceless
+
+
+class TestFidelities:
+    def test_state_fidelity_pure(self):
+        a = random_state(2, 1)
+        assert np.isclose(state_fidelity(a, a), 1.0)
+        b = np.zeros(4, dtype=complex)
+        b[0] = 1
+        c = np.zeros(4, dtype=complex)
+        c[1] = 1
+        assert np.isclose(state_fidelity(b, c), 0.0)
+
+    def test_state_fidelity_mixed(self):
+        a = random_state(1, 2)
+        rho = np.eye(2) / 2
+        assert np.isclose(state_fidelity(a, rho), 0.5)
+        assert np.isclose(state_fidelity(rho, a), 0.5)
+
+    def test_process_fidelity(self):
+        u = random_unitary(4, 4)
+        assert np.isclose(process_fidelity(u, u), 1.0)
+        assert np.isclose(
+            process_fidelity(u, np.exp(0.7j) * u), 1.0
+        )
+        assert process_fidelity(np.eye(4), CX) < 1.0
+
+    def test_projector(self):
+        p = projector(2, 4)
+        assert p[2, 2] == 1
+        assert np.trace(p) == 1

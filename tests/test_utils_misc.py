@@ -1,0 +1,111 @@
+"""Tests for bitstring helpers, RNG derivation and report rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.reporting import ascii_bars, percent, text_table
+from repro.utils.bitstrings import (
+    bit_at,
+    bitstring_to_index,
+    flip_bit,
+    format_counts,
+    hamming_distance,
+    hamming_weight,
+    index_to_bitstring,
+    iter_bitstrings,
+)
+from repro.utils.rng import as_generator, derive_seed
+
+
+class TestBitstrings:
+    def test_roundtrip(self):
+        assert index_to_bitstring(6, 3) == "110"
+        assert bitstring_to_index("110") == 6
+
+    def test_qubit_zero_rightmost(self):
+        # qubit 0 set -> index 1 -> rightmost char '1'
+        assert index_to_bitstring(1, 3) == "001"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            index_to_bitstring(8, 3)
+        with pytest.raises(ValueError):
+            index_to_bitstring(-1, 3)
+
+    def test_parse_validation(self):
+        with pytest.raises(ValueError):
+            bitstring_to_index("102")
+        with pytest.raises(ValueError):
+            bitstring_to_index("")
+        assert bitstring_to_index("1 0") == 2  # spaces tolerated
+
+    def test_bit_operations(self):
+        assert bit_at(0b101, 0) == 1
+        assert bit_at(0b101, 1) == 0
+        assert flip_bit(0b101, 1) == 0b111
+        assert hamming_weight(0b1011) == 3
+        assert hamming_distance(0b1100, 0b1010) == 2
+
+    def test_iter_bitstrings(self):
+        assert list(iter_bitstrings(2)) == ["00", "01", "10", "11"]
+
+    def test_format_counts_sorted(self):
+        text = format_counts({"01": 5, "10": 9, "11": 1}, top=2)
+        assert text.startswith("{10: 9, 01: 5")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 10), st.integers(0, 1023))
+    def test_roundtrip_property(self, num_bits, index):
+        index %= 1 << num_bits
+        assert bitstring_to_index(
+            index_to_bitstring(index, num_bits)
+        ) == index
+
+
+class TestRng:
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_from_int(self):
+        a = as_generator(5).integers(1000)
+        b = as_generator(5).integers(1000)
+        assert a == b
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "x", 2) == derive_seed(1, "x", 2)
+        assert derive_seed(1, "x", 2) != derive_seed(1, "x", 3)
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_derive_seed_none_stays_none(self):
+        assert derive_seed(None, "anything") is None
+
+
+class TestReporting:
+    def test_text_table_alignment(self):
+        table = text_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 100.25]],
+            title="demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        # all rows share the same width
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_percent(self):
+        assert percent(0.5432) == "54.3%"
+
+    def test_ascii_bars(self):
+        chart = ascii_bars(["a", "bb"], [0.5, 1.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_ascii_bars_empty(self):
+        assert ascii_bars([], []) == ""
