@@ -2,7 +2,7 @@
 
 from repro.backends.target import QubitProperties, Target
 from repro.backends.result import Counts, Result
-from repro.backends.engine import execute_circuit
+from repro.backends.engine import execute_circuit, execute_circuits
 from repro.backends.backend import SimulatedBackend
 from repro.backends.fake import (
     FakeAuckland,
@@ -18,6 +18,7 @@ __all__ = [
     "Counts",
     "Result",
     "execute_circuit",
+    "execute_circuits",
     "SimulatedBackend",
     "FakeAuckland",
     "FakeGuadalupe",

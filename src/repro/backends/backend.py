@@ -21,8 +21,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.backends.engine import execute_circuit
-from repro.backends.result import ExperimentResult, Result
+from repro.backends.engine import execute_circuits
+from repro.backends.result import Result
 from repro.backends.target import Target
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Instruction, PulseGate
@@ -37,6 +37,7 @@ from repro.pulsesim.calibration import (
     calibrate_x,
 )
 from repro.pulsesim.solver import drive_channel_propagator
+from repro.utils.cache import LRUCache, UnhashableKey, schedule_key
 from repro.utils.rng import derive_seed
 
 
@@ -58,6 +59,12 @@ class SimulatedBackend:
         self.device = device
         self._cr_cache: dict[tuple[int, int], CRCalibration] = {}
         self._x_cache: dict[int, object] = {}
+        # pulse-gate unitaries keyed by (physical qubits, schedule
+        # parameters): a parameter sweep re-resolves identical pulse
+        # gates hundreds of times per optimizer run
+        self._pulse_unitary_cache = LRUCache(
+            maxsize=2048, name=f"pulse_unitary[{name}]"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -75,25 +82,33 @@ class SimulatedBackend:
         seed: int | None = None,
         with_noise: bool = True,
         with_readout_error: bool = True,
+        seeds: Sequence[int | None] | None = None,
     ) -> Result:
-        """Execute one or more circuits and return sampled counts."""
+        """Execute one or more circuits and return sampled counts.
+
+        The whole list goes through the batched engine path
+        (:func:`repro.backends.engine.execute_circuits`), which amortizes
+        noise-channel and pulse-propagator derivation across the sweep.
+        ``seeds`` overrides the per-circuit shot seeds (one entry per
+        circuit); by default they derive from ``seed`` exactly as the
+        historical per-circuit loop did.
+        """
         if isinstance(circuits, QuantumCircuit):
             circuits = [circuits]
-        experiments: list[ExperimentResult] = []
-        for index, circuit in enumerate(circuits):
-            experiments.append(
-                execute_circuit(
-                    circuit,
-                    target=self.target,
-                    noise_model=self.noise_model if with_noise else None,
-                    shots=shots,
-                    seed=derive_seed(seed, "run", index)
-                    if seed is not None
-                    else None,
-                    unitary_provider=self.pulse_unitary,
-                    with_readout_error=with_readout_error,
-                )
-            )
+        if seeds is None:
+            seeds = [
+                derive_seed(seed, "run", index) if seed is not None else None
+                for index in range(len(circuits))
+            ]
+        experiments = execute_circuits(
+            circuits,
+            target=self.target,
+            noise_model=self.noise_model if with_noise else None,
+            shots=shots,
+            seeds=seeds,
+            unitary_provider=self.pulse_unitary,
+            with_readout_error=with_readout_error,
+        )
         return Result(experiments, backend_name=self.name, shots=shots)
 
     # ------------------------------------------------------------------
@@ -108,6 +123,11 @@ class SimulatedBackend:
         propagators; schedules touching control channels must carry a
         pre-computed ``unitary`` attribute (set by the calibration or
         pulse-efficient passes).
+
+        Resolved unitaries are memoized by (physical qubits, schedule
+        parameters): within one optimizer evaluation the shared-mixer
+        model places the same pulse on every layer, and across a batch
+        sweep identical settings recur constantly.
         """
         if not isinstance(op, PulseGate):
             raise BackendError(f"cannot simulate {op!r}")
@@ -120,6 +140,19 @@ class SimulatedBackend:
             raise BackendError(
                 f"pulse gate {op.name!r} still has unbound parameters"
             )
+        try:
+            key = (tuple(phys_qubits), schedule_key(schedule))
+        except UnhashableKey:
+            key = None
+        if key is not None:
+            return self._pulse_unitary_cache.get_or_compute(
+                key, lambda: self._pulse_unitary(schedule, phys_qubits)
+            )
+        return self._pulse_unitary(schedule, phys_qubits)
+
+    def _pulse_unitary(
+        self, schedule: Schedule, phys_qubits: tuple[int, ...]
+    ) -> np.ndarray:
         for channel in schedule.channels:
             if isinstance(channel, ControlChannel):
                 raise BackendError(

@@ -27,9 +27,44 @@ from repro.exceptions import BackendError
 from repro.noise.model import NoiseModel
 from repro.simulators.density_matrix import DensityMatrix
 from repro.utils.bitstrings import index_to_bitstring
-from repro.utils.rng import as_generator
+from repro.utils.kernels import marginalize
+from repro.utils.rng import as_generator, derive_seed
 
 UnitaryProvider = Callable[[Instruction, tuple[int, ...]], np.ndarray]
+
+
+class _RunContext:
+    """Per-run (or per-batch) memo of derived execution data.
+
+    Shared across the circuits of one :func:`execute_circuits` sweep so
+    that measure-duration lookups and crosstalk unitaries are derived
+    once per batch rather than once per circuit.  The heavyweight memos
+    (relaxation channels, pulse propagators, calibrations) live on the
+    noise model / device and persist across batches.
+    """
+
+    __slots__ = ("target", "measure_durations", "zz_unitaries")
+
+    def __init__(self, target: Target) -> None:
+        self.target = target
+        self.measure_durations: dict[int, int] = {}
+        self.zz_unitaries: dict[float, np.ndarray] = {}
+
+    def measure_duration(self, qubit: int) -> int:
+        duration = self.measure_durations.get(qubit)
+        if duration is None:
+            duration = self.target.duration("measure", (qubit,))
+            self.measure_durations[qubit] = duration
+        return duration
+
+    def zz_unitary(self, angle: float) -> np.ndarray:
+        rzz = self.zz_unitaries.get(angle)
+        if rzz is None:
+            rzz = np.diag(
+                np.exp(-1j * angle / 2 * np.array([1.0, -1.0, -1.0, 1.0]))
+            )
+            self.zz_unitaries[angle] = rzz
+        return rzz
 
 
 def _operation_duration(
@@ -115,6 +150,7 @@ def execute_circuit(
     unitary_provider: UnitaryProvider | None = None,
     readout_relaxation_fraction: float = 0.5,
     with_readout_error: bool = True,
+    _context: _RunContext | None = None,
 ) -> ExperimentResult:
     """Run one circuit and sample measurement outcomes.
 
@@ -122,6 +158,7 @@ def execute_circuit(
     ``target`` (run transpiled circuits, or logical ones on a matching
     trivial layout).  Measurements must be terminal.
     """
+    context = _context if _context is not None else _RunContext(target)
     measures = [
         inst
         for inst in circuit.instructions
@@ -175,13 +212,13 @@ def execute_circuit(
                         op.num_qubits, _operation_duration(inst, target)
                     )
                     if channel is not None:
-                        state.apply_kraus(channel.kraus_ops, qubits)
+                        state.apply_channel(channel, qubits)
                     _apply_pulse_jitter(state, op, qubits, noise_model, rng)
                 else:
                     for channel in noise_model.gate_channels(
                         op.name, inst.qubits
                     ):
-                        state.apply_kraus(channel.kraus_ops, qubits)
+                        state.apply_channel(channel, qubits)
         if noise_model is not None and duration > 0:
             _apply_duration_noise(
                 state,
@@ -192,6 +229,7 @@ def execute_circuit(
                 duration,
                 zz_rate,
                 target.dt,
+                context,
             )
         total_duration += duration
 
@@ -206,14 +244,14 @@ def execute_circuit(
         )
 
     measure_duration = max(
-        target.duration("measure", (q,)) for q in measured_qubits
+        context.measure_duration(q) for q in measured_qubits
     )
     if noise_model is not None and readout_relaxation_fraction > 0:
         effective = int(measure_duration * readout_relaxation_fraction)
         for q in measured_qubits:
             channel = noise_model.relaxation_channel(q, effective)
             if channel is not None:
-                state.apply_kraus(channel.kraus_ops, [local[q]])
+                state.apply_channel(channel, [local[q]])
     total_duration += measure_duration
 
     probs = state.probabilities()
@@ -225,20 +263,20 @@ def execute_circuit(
         and with_readout_error
         and noise_model.readout_error is not None
     ):
-        readout = noise_model.readout_error.subset(measured_qubits)
+        readout = noise_model.readout_subset(measured_qubits)
         marginal = readout.apply_to_probabilities(marginal)
 
-    # map measured-qubit order onto clbit positions
+    # map measured-qubit order onto clbit positions, touching only the
+    # outcomes that actually drew shots
     num_clbits = max(measured_clbits) + 1
     counts_raw = rng.multinomial(shots, marginal / marginal.sum())
+    observed = np.flatnonzero(counts_raw)
+    clbit_values = np.zeros_like(observed)
+    for pos, clbit in enumerate(measured_clbits):
+        clbit_values |= ((observed >> pos) & 1) << clbit
     counts: dict[str, int] = {}
-    for outcome, count in enumerate(counts_raw):
-        if not count:
-            continue
-        clbit_value = 0
-        for pos, clbit in enumerate(measured_clbits):
-            clbit_value |= ((outcome >> pos) & 1) << clbit
-        key = index_to_bitstring(clbit_value, num_clbits)
+    for clbit_value, count in zip(clbit_values, counts_raw[observed]):
+        key = index_to_bitstring(int(clbit_value), num_clbits)
         counts[key] = counts.get(key, 0) + int(count)
     return ExperimentResult(
         Counts(counts),
@@ -308,16 +346,15 @@ def _apply_duration_noise(
     duration: int,
     zz_rate: float,
     dt: float,
+    context: _RunContext,
 ) -> None:
     for phys in active_list:
         channel = noise_model.relaxation_channel(phys, duration)
         if channel is not None:
-            state.apply_kraus(channel.kraus_ops, [local[phys]])
+            state.apply_channel(channel, [local[phys]])
     if zz_rate:
         angle = 2 * math.pi * zz_rate * duration * dt
-        rzz = np.diag(
-            np.exp(-1j * angle / 2 * np.array([1.0, -1.0, -1.0, 1.0]))
-        )
+        rzz = context.zz_unitary(angle)
         for la, lb, _a, _b in coupled_local_pairs:
             state.apply_unitary(rzz, [la, lb])
 
@@ -325,13 +362,68 @@ def _apply_duration_noise(
 def _marginalize(
     probs: np.ndarray, positions: Sequence[int], num_qubits: int
 ) -> np.ndarray:
-    """Marginal distribution over ``positions`` (positions[0] = LSB out)."""
-    out = np.zeros(1 << len(positions))
-    for index, p in enumerate(probs):
-        if p == 0.0:
-            continue
-        key = 0
-        for pos, qubit in enumerate(positions):
-            key |= ((index >> qubit) & 1) << pos
-        out[key] += p
-    return out
+    """Marginal distribution over ``positions`` (positions[0] = LSB out).
+
+    Vectorized index-map scatter-add (see
+    :func:`repro.utils.kernels.marginalize`); accumulation order matches
+    the historical Python loop bit-for-bit.
+    """
+    return marginalize(probs, positions, num_qubits)
+
+
+def execute_circuits(
+    circuits: Sequence[QuantumCircuit],
+    target: Target,
+    noise_model: NoiseModel | None = None,
+    shots: int = 1024,
+    seed: int | None | np.random.Generator = None,
+    seeds: Sequence[int | None | np.random.Generator] | None = None,
+    unitary_provider: UnitaryProvider | None = None,
+    readout_relaxation_fraction: float = 0.5,
+    with_readout_error: bool = True,
+) -> list[ExperimentResult]:
+    """Run a batch of circuits, amortizing shared derivation work.
+
+    The batch path shares one :class:`_RunContext` (measure durations,
+    crosstalk unitaries) across all circuits and leans on the persistent
+    memo layers — relaxation/pulse channels on the noise model, pulse
+    propagators and calibrations on the device — so a parameter sweep
+    pays layering, channel construction and calibration once instead of
+    once per circuit.
+
+    Seeding: when ``seeds`` is given it supplies one entry per circuit
+    and ``execute_circuits(cs, seeds=[s0, ...])`` returns exactly what
+    ``[execute_circuit(c, seed=s) for c, s in zip(cs, seeds)]`` would.
+    Otherwise per-circuit seeds derive from ``seed`` via
+    ``derive_seed(seed, "batch", index)`` (a Generator is shared
+    sequentially, which is likewise identical to sequential calls).
+    """
+    circuits = list(circuits)
+    if seeds is not None:
+        seeds = list(seeds)
+        if len(seeds) != len(circuits):
+            raise BackendError(
+                f"{len(seeds)} seeds for {len(circuits)} circuits"
+            )
+    elif isinstance(seed, np.random.Generator):
+        seeds = [seed] * len(circuits)
+    else:
+        seeds = [
+            derive_seed(seed, "batch", index)
+            for index in range(len(circuits))
+        ]
+    context = _RunContext(target)
+    return [
+        execute_circuit(
+            circuit,
+            target,
+            noise_model=noise_model,
+            shots=shots,
+            seed=circuit_seed,
+            unitary_provider=unitary_provider,
+            readout_relaxation_fraction=readout_relaxation_fraction,
+            with_readout_error=with_readout_error,
+            _context=context,
+        )
+        for circuit, circuit_seed in zip(circuits, seeds)
+    ]

@@ -68,14 +68,23 @@ def binary_search_mixer_duration(
         saved = model.mixer_pulse_duration
         model.set_mixer_duration(duration)
         try:
-            scores = []
-            for rep in range(evaluations_per_point):
-                circuit = model.build_circuit(values)
-                value, _ = pipeline.evaluate(
-                    circuit,
-                    seed=derive_seed(seed, "dsearch", duration, salt, rep),
+            # all repetitions go through the batched pipeline in one
+            # call; the per-rep seeds are derived exactly as the old
+            # sequential loop derived them, so results are unchanged
+            circuits = [
+                model.build_circuit(values)
+                for _ in range(evaluations_per_point)
+            ]
+            rep_seeds = [
+                derive_seed(seed, "dsearch", duration, salt, rep)
+                for rep in range(evaluations_per_point)
+            ]
+            scores = [
+                value
+                for value, _ in pipeline.evaluate_many(
+                    circuits, seeds=rep_seeds
                 )
-                scores.append(value)
+            ]
             return float(np.mean(scores))
         finally:
             model.set_mixer_duration(saved)

@@ -97,38 +97,81 @@ class ExecutionPipeline:
         self, circuit: QuantumCircuit, seed: int | None = None
     ):
         """Prepare + run; returns the backend ExperimentResult."""
-        prepared = self.prepare(circuit)
-        result = self.backend.run(prepared, shots=self.shots, seed=seed)
-        return result.experiments[0]
+        return self.execute_many([circuit], seeds=[seed])[0]
+
+    def execute_many(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        seeds: Sequence[int | None] | None = None,
+    ) -> list:
+        """Prepare + run a batch; returns one ExperimentResult per circuit.
+
+        All circuits go through the backend's batched engine path in a
+        single call, sharing transpilation passes, noise-channel and
+        pulse-propagator derivation.  ``seeds`` gives the per-circuit
+        shot seed; results match per-circuit :meth:`execute` calls
+        seed-for-seed (each circuit uses the seed stream
+        ``derive_seed(seed_i, "run", 0)``, exactly as a single-circuit
+        run would).
+        """
+        prepared = [self.prepare(circuit) for circuit in circuits]
+        if seeds is None:
+            seeds = [None] * len(prepared)
+        engine_seeds = [
+            derive_seed(s, "run", 0) if s is not None else None
+            for s in seeds
+        ]
+        result = self.backend.run(
+            prepared, shots=self.shots, seeds=engine_seeds
+        )
+        return result.experiments
 
     def evaluate(
         self, circuit: QuantumCircuit, seed: int | None = None
     ) -> tuple[float, dict]:
         """Full scoring path; returns (cost_value, info)."""
-        experiment = self.execute(circuit, seed=seed)
-        counts = experiment.counts
-        info = {
-            "duration": experiment.duration,
-            "raw_counts": counts,
-        }
-        if self.use_m3:
-            clbit_map = experiment.metadata["clbit_to_qubit"]
-            physical = tuple(
-                clbit_map[c] for c in sorted(clbit_map)
-            )
-            mitigator = self._mitigator_cache.get(physical)
-            if mitigator is None:
-                mitigator = M3Mitigator.from_backend(
-                    self.backend, physical
+        return self.evaluate_many([circuit], seeds=[seed])[0]
+
+    def evaluate_many(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        seeds: Sequence[int | None] | None = None,
+    ) -> list[tuple[float, dict]]:
+        """Batched scoring path; one (cost_value, info) pair per circuit.
+
+        Used by sweep-style callers (duration search, experiment
+        drivers) so the whole parameter sweep is amortized through
+        :meth:`execute_many`.
+        """
+        experiments = self.execute_many(circuits, seeds=seeds)
+        infos: list[dict] = []
+        scorables: list = []
+        for experiment in experiments:
+            counts = experiment.counts
+            info = {
+                "duration": experiment.duration,
+                "raw_counts": counts,
+            }
+            if self.use_m3:
+                clbit_map = experiment.metadata["clbit_to_qubit"]
+                physical = tuple(
+                    clbit_map[c] for c in sorted(clbit_map)
                 )
-                self._mitigator_cache[physical] = mitigator
-            quasi = mitigator.apply(counts)
-            scores = quasi.nearest_probability_distribution()
-            info["mitigated"] = scores
-            value = self.cost(scores)
-        else:
-            value = self.cost(counts)
-        return value, info
+                mitigator = self._mitigator_cache.get(physical)
+                if mitigator is None:
+                    mitigator = M3Mitigator.from_backend(
+                        self.backend, physical
+                    )
+                    self._mitigator_cache[physical] = mitigator
+                quasi = mitigator.apply(counts)
+                scores = quasi.nearest_probability_distribution()
+                info["mitigated"] = scores
+                scorables.append(scores)
+            else:
+                scorables.append(counts)
+            infos.append(info)
+        values = self.cost.evaluate_many(scorables)
+        return list(zip(values, infos))
 
 
 @dataclass

@@ -17,6 +17,7 @@ from repro.noise.channels import (
     thermal_relaxation_channel,
 )
 from repro.noise.readout import ReadoutError
+from repro.utils.cache import LRUCache
 
 
 class NoiseModel:
@@ -52,6 +53,20 @@ class NoiseModel:
         #: pulses, a random kick along the entangling axis.
         self.pulse_jitter_local: float = 0.0
         self.pulse_jitter_entangling: float = 0.0
+        # memoized Kraus constructions; every VQA iteration asks for the
+        # same (qubit, duration) relaxation and pulse-depolarizing
+        # channels, and KrausChannel construction (completeness check
+        # included) dominates the duration-noise cost otherwise.
+        # Invalidated by set_relaxation / clear_caches.
+        self._relaxation_cache = LRUCache(maxsize=1024, name="relaxation")
+        self._pulse_channel_cache = LRUCache(maxsize=256, name="pulse_channel")
+        self._readout_subset_cache = LRUCache(maxsize=64, name="readout_subset")
+
+    def clear_caches(self) -> None:
+        """Drop memoized channels (call after mutating noise parameters)."""
+        self._relaxation_cache.clear()
+        self._pulse_channel_cache.clear()
+        self._readout_subset_cache.clear()
 
     # ------------------------------------------------------------------
     def add_gate_error(
@@ -99,11 +114,22 @@ class NoiseModel:
         self.t1 = [float(v) for v in t1]
         self.t2 = [float(v) for v in t2]
         self.dt = float(dt)
+        self._relaxation_cache.clear()
 
     def set_readout_error(self, readout: ReadoutError) -> None:
         if readout.num_qubits != self.num_qubits:
             raise NoiseError("readout model size mismatch")
         self.readout_error = readout
+        self._readout_subset_cache.clear()
+
+    def readout_subset(self, qubits: Sequence[int]) -> ReadoutError | None:
+        """Memoized :meth:`ReadoutError.subset` for the measured qubits."""
+        if self.readout_error is None:
+            return None
+        qubits = tuple(qubits)
+        return self._readout_subset_cache.get_or_compute(
+            qubits, lambda: self.readout_error.subset(qubits)
+        )
 
     # ------------------------------------------------------------------
     def gate_channels(
@@ -133,7 +159,10 @@ class NoiseModel:
         if rate <= 0 or duration_dt <= 0:
             return None
         probability = min(0.9, rate * duration_dt)
-        return depolarizing_channel(probability, num_qubits)
+        return self._pulse_channel_cache.get_or_compute(
+            (num_qubits, probability),
+            lambda: depolarizing_channel(probability, num_qubits),
+        )
 
     def relaxation_channel(
         self, qubit: int, duration_dt: float
@@ -145,8 +174,10 @@ class NoiseModel:
         t2 = self.t2[qubit]
         if t1 is None or t2 is None:
             return None
-        return thermal_relaxation_channel(
-            t1, t2, duration_dt * self.dt
+        time = duration_dt * self.dt
+        return self._relaxation_cache.get_or_compute(
+            (t1, t2, time),
+            lambda: thermal_relaxation_channel(t1, t2, time),
         )
 
     @property

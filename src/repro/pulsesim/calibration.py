@@ -18,7 +18,7 @@ These mirror the vendor calibration the paper relies on when it keeps
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 from scipy.optimize import brentq, minimize
@@ -35,6 +35,7 @@ from repro.pulse.waveforms import (
     GaussianSquare,
 )
 from repro.pulsesim.solver import cr_pair_propagator, drive_channel_propagator
+from repro.utils.cache import device_cache
 from repro.utils.linalg import process_fidelity
 
 _DEFAULT_SQ_DURATION = 160  # samples; the IBM-native sx/x pulse length
@@ -143,7 +144,37 @@ def calibrate_rotation(
     the simulated propagator; the AC-Stark shift is pre-compensated by an
     envelope-weighted frequency offset, mirroring how hardware calibration
     absorbs the shift into the pulse definition.
+
+    Calibrations are pure functions of (device, arguments) and every VQA
+    iteration re-requests the same ones, so results are memoized on the
+    device; each call returns a fresh shallow copy (callers rename the
+    ``name`` field) sharing the immutable-by-convention unitary/schedule.
     """
+    key = (
+        "calibrate_rotation", qubit, angle, duration, sigma, phase,
+        include_stark, compensate_stark,
+    )
+    cache = device_cache(device, "calibrations", maxsize=256)
+    cached = cache.get_or_compute(
+        key,
+        lambda: _calibrate_rotation(
+            device, qubit, angle, duration, sigma, phase,
+            include_stark, compensate_stark,
+        ),
+    )
+    return replace(cached)
+
+
+def _calibrate_rotation(
+    device: DeviceModel,
+    qubit: int,
+    angle: float,
+    duration: int,
+    sigma: float | None,
+    phase: float,
+    include_stark: bool,
+    compensate_stark: bool,
+) -> GateCalibration:
     if not 0 < angle <= math.pi:
         raise CalibrationError(
             f"calibrate_rotation expects angle in (0, pi], got {angle:g}"
@@ -482,13 +513,49 @@ def calibrate_cr(
     risefall_sigmas: float = 2.0,
     x_calibration: GateCalibration | None = None,
 ) -> CRCalibration:
-    """Calibrate the echoed-CR width for RZX(pi/2) on a coupled pair."""
+    """Calibrate the echoed-CR width for RZX(pi/2) on a coupled pair.
+
+    Memoized on the device: the two root solves here re-simulate the
+    echoed sequence dozens of times, and training loops request the same
+    pair calibration on every cost evaluation.
+    """
     if device.coupling_strength(control, target) == 0.0:
         raise CalibrationError(
             f"qubits {control} and {target} are not coupled"
         )
     if x_calibration is None:
         x_calibration = calibrate_x(device, control)
+    x_key = (
+        x_calibration.qubit,
+        x_calibration.duration,
+        x_calibration.amp,
+        x_calibration.sigma,
+        x_calibration.phase,
+        x_calibration.freq_compensation,
+    )
+    key = ("calibrate_cr", control, target, amp, sigma, risefall_sigmas, x_key)
+    cache = device_cache(device, "calibrations", maxsize=256)
+    cached = cache.get_or_compute(
+        key,
+        lambda: _calibrate_cr(
+            device, control, target, amp, sigma, risefall_sigmas,
+            x_calibration,
+        ),
+    )
+    # shallow copy: callers may adjust fields on the returned record and
+    # must not poison the device-wide cache entry
+    return replace(cached)
+
+
+def _calibrate_cr(
+    device: DeviceModel,
+    control: int,
+    target: int,
+    amp: float,
+    sigma: float,
+    risefall_sigmas: float,
+    x_calibration: GateCalibration,
+) -> CRCalibration:
     risefall = int(risefall_sigmas * sigma)
     cal = CRCalibration(
         control=control,

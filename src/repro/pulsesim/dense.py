@@ -34,6 +34,7 @@ from repro.pulse.instructions import (
     ShiftPhase,
 )
 from repro.pulse.schedule import Schedule
+from repro.utils.cache import UnhashableKey, device_cache, schedule_key
 from repro.utils.linalg import embed_matrix
 
 _X = np.array([[0, 1], [1, 0]], dtype=complex)
@@ -70,12 +71,44 @@ def dense_schedule_propagator(
     ``qubits[0]`` is the LSB of the returned unitary); by default every
     qubit referenced by the schedule's channels participates, in sorted
     order.
+
+    Propagators are memoized on the device, keyed by the schedule's
+    waveform parameters — the per-sample matrix exponentials dominate
+    everything else in this module, and validation suites evaluate the
+    same schedules repeatedly.  Parameterized schedules are not cached.
     """
     if substeps < 1:
         raise SimulatorError("substeps must be >= 1")
     if qubits is None:
         qubits = _referenced_qubits(schedule, device)
     qubits = list(qubits)
+    try:
+        key = (
+            "dense", tuple(qubits), include_stark, substeps,
+            schedule_key(schedule),
+        )
+    except UnhashableKey:
+        key = None
+    if key is not None:
+        cache = device_cache(device, "propagators")
+        return cache.get_or_compute(
+            key,
+            lambda: _dense_schedule_propagator(
+                schedule, device, qubits, include_stark, substeps
+            ),
+        )
+    return _dense_schedule_propagator(
+        schedule, device, qubits, include_stark, substeps
+    )
+
+
+def _dense_schedule_propagator(
+    schedule: Schedule,
+    device: DeviceModel,
+    qubits: list[int],
+    include_stark: bool,
+    substeps: int,
+) -> np.ndarray:
     index_of = {q: i for i, q in enumerate(qubits)}
     n = len(qubits)
     dt = device.dt
@@ -153,10 +186,14 @@ def dense_schedule_propagator(
     dim = 1 << n
     unitary = np.eye(dim, dtype=complex)
     sub_dt = dt / substeps
+    # interval index: pulses active at sample k, built once instead of a
+    # linear scan over every pulse at every sample
+    active_at: list[list[_ActivePulse]] = [[] for _ in range(duration)]
+    for p in pulses:
+        for k in range(p.start, min(duration, p.start + len(p.samples))):
+            active_at[k].append(p)
     for k in range(duration):
-        active = [
-            p for p in pulses if p.start <= k < p.start + len(p.samples)
-        ]
+        active = active_at[k]
         if not active and not exchange:
             continue
         for sub in range(substeps):

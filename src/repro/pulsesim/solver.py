@@ -36,6 +36,7 @@ from repro.pulse.instructions import (
     ShiftPhase,
 )
 from repro.pulse.schedule import Schedule
+from repro.utils.cache import UnhashableKey, cache_key, device_cache, timeline_key
 
 _X = np.array([[0, 1], [1, 0]], dtype=complex)
 _Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
@@ -90,7 +91,33 @@ def drive_channel_propagator(
     ``timeline`` holds ``(start_sample, instruction)`` pairs as produced by
     :meth:`repro.pulse.schedule.Schedule.channel_timeline`.  Delays are
     identity (decoherence is applied by the noise layer, not here).
+
+    Results are memoized per device, keyed by the timeline's waveform
+    parameters, so re-evaluating an unchanged pulse (e.g. during a
+    calibration bisection or a repeated mixer setting) is a dictionary
+    lookup.  Parameterized (unbound) timelines fall through uncached.
     """
+    try:
+        key = ("drive", qubit, include_stark, timeline_key(list(timeline)))
+    except UnhashableKey:
+        key = None
+    if key is not None:
+        cache = device_cache(device, "propagators")
+        return cache.get_or_compute(
+            key,
+            lambda: _drive_channel_propagator(
+                timeline, device, qubit, include_stark
+            ),
+        )
+    return _drive_channel_propagator(timeline, device, qubit, include_stark)
+
+
+def _drive_channel_propagator(
+    timeline: Sequence[tuple[int, PulseInstruction]],
+    device: DeviceModel,
+    qubit: int,
+    include_stark: bool,
+) -> np.ndarray:
     params = device.qubits[qubit]
     g = 2 * math.pi * params.drive_strength  # rad/ns at unit amplitude
     dt = device.dt
@@ -222,7 +249,33 @@ def cr_pair_propagator(
     -------
     4x4 unitary in the two qubits' own rotating frames, little-endian with
     the **control** qubit as bit 0.
+
+    Memoized per device, keyed by (samples, pair, phase, freq_shift):
+    calibration root solves and pulse-efficient width rescaling evaluate
+    the same envelopes repeatedly.
     """
+    samples = np.asarray(samples, dtype=complex)
+    key = cache_key(
+        "cr", control, target, phase, freq_shift, include_stark, samples
+    )
+    cache = device_cache(device, "propagators")
+    return cache.get_or_compute(
+        key,
+        lambda: _cr_pair_propagator(
+            samples, device, control, target, phase, freq_shift, include_stark
+        ),
+    )
+
+
+def _cr_pair_propagator(
+    samples: np.ndarray,
+    device: DeviceModel,
+    control: int,
+    target: int,
+    phase: float,
+    freq_shift: float,
+    include_stark: bool,
+) -> np.ndarray:
     coupling_ghz = device.coupling_strength(control, target)
     if coupling_ghz == 0.0:
         raise PulseError(
@@ -237,7 +290,6 @@ def cr_pair_propagator(
     delta_t = qt.omega - omega_d
     g = 2 * math.pi * qc.drive_strength
 
-    samples = np.asarray(samples, dtype=complex)
     duration = len(samples)
     unitary = np.eye(4, dtype=complex)
     k = 0

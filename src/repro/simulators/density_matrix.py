@@ -15,9 +15,29 @@ import numpy as np
 
 from repro.exceptions import SimulatorError
 from repro.simulators.statevector import Statevector
-from repro.utils.bitstrings import index_to_bitstring
+from repro.utils.kernels import (
+    apply_matrix_flat,
+    apply_plan,
+    nonzero_counts_dict,
+    nonzero_probability_dict,
+)
 from repro.utils.linalg import partial_trace
 from repro.utils.rng import as_generator
+
+
+def _build_superoperator(kraus_ops: Sequence[np.ndarray]) -> np.ndarray:
+    """``sum_k K_k ⊗ K_k*`` — the row-major superoperator of a channel.
+
+    With the combined index ordered (row bits major, column bits minor)
+    this contracts against the density tensor's joint row/column target
+    axes in one matmul.
+    """
+    out = None
+    for op in kraus_ops:
+        op = np.asarray(op, dtype=complex)
+        term = np.kron(op, op.conj())
+        out = term if out is None else out + term
+    return out
 
 
 class DensityMatrix:
@@ -51,23 +71,22 @@ class DensityMatrix:
         self, matrix: np.ndarray, qubits: Sequence[int], side: str
     ) -> None:
         """Apply ``matrix`` to row (side='L') or its conjugate to column
-        (side='R') indices of the density tensor."""
+        (side='R') indices of the density tensor.
+
+        Axis permutations are compiled once per ``(n, qubits, side)``
+        and cached (see :mod:`repro.utils.kernels`).
+        """
         n = self.num_qubits
-        k = len(qubits)
-        tensor = self.data.reshape([2] * (2 * n))
         if side == "L":
-            axes = [n - 1 - q for q in qubits]
+            axes = tuple(n - 1 - q for q in reversed(qubits))
             mat = matrix
         else:
-            axes = [2 * n - 1 - q for q in qubits]
+            axes = tuple(2 * n - 1 - q for q in reversed(qubits))
             mat = matrix.conj()
-        order = list(reversed(axes))
-        tensor = np.moveaxis(tensor, order, range(k))
-        shape = tensor.shape
-        tensor = mat @ tensor.reshape(1 << k, -1)
-        tensor = tensor.reshape(shape)
-        tensor = np.moveaxis(tensor, range(k), order)
-        self.data = tensor.reshape(1 << n, 1 << n)
+        plan = apply_plan(2 * n, axes)
+        self.data = apply_matrix_flat(mat, self.data.reshape(-1), plan).reshape(
+            1 << n, 1 << n
+        )
 
     def apply_unitary(
         self, matrix: np.ndarray, qubits: Sequence[int]
@@ -81,16 +100,42 @@ class DensityMatrix:
     def apply_kraus(
         self, kraus_ops: Sequence[np.ndarray], qubits: Sequence[int]
     ) -> "DensityMatrix":
-        """rho -> sum_k K_k rho K_k† on ``qubits`` (in place)."""
-        original = self.data
-        acc = np.zeros_like(original)
-        for op in kraus_ops:
-            self.data = original
-            self._reshaped_apply(np.asarray(op, dtype=complex), qubits, "L")
-            self._reshaped_apply(np.asarray(op, dtype=complex), qubits, "R")
-            acc = acc + self.data
-        self.data = acc
+        """rho -> sum_k K_k rho K_k† on ``qubits`` (in place).
+
+        The channel is applied as a single superoperator contraction
+        ``S = sum_k K_k ⊗ K_k*`` over the joint (row, column) axes of
+        the target qubits: one transpose/matmul pass per channel instead
+        of two per Kraus operator.
+        """
+        self._apply_superop(_build_superoperator(kraus_ops), qubits)
         return self
+
+    def apply_channel(
+        self, channel, qubits: Sequence[int]
+    ) -> "DensityMatrix":
+        """Apply a :class:`~repro.noise.channels.KrausChannel` (in place).
+
+        Prefer this over :meth:`apply_kraus` for channel objects: the
+        superoperator is built once per channel and memoized on it.
+        """
+        superop = getattr(channel, "_superop", None)
+        if superop is None:
+            superop = _build_superoperator(channel.kraus_ops)
+            channel._superop = superop
+        self._apply_superop(superop, qubits)
+        return self
+
+    def _apply_superop(
+        self, superop: np.ndarray, qubits: Sequence[int]
+    ) -> None:
+        n = self.num_qubits
+        axes = tuple(n - 1 - q for q in reversed(qubits)) + tuple(
+            2 * n - 1 - q for q in reversed(qubits)
+        )
+        plan = apply_plan(2 * n, axes)
+        self.data = apply_matrix_flat(
+            superop, self.data.reshape(-1), plan
+        ).reshape(1 << n, 1 << n)
 
     # ------------------------------------------------------------------
     def probabilities(self) -> np.ndarray:
@@ -103,12 +148,9 @@ class DensityMatrix:
         return probs / total
 
     def probability_dict(self, atol: float = 1e-12) -> dict[str, float]:
-        probs = self.probabilities()
-        return {
-            index_to_bitstring(i, self.num_qubits): float(p)
-            for i, p in enumerate(probs)
-            if p > atol
-        }
+        return nonzero_probability_dict(
+            self.probabilities(), self.num_qubits, atol
+        )
 
     def expectation_diagonal(self, diagonal: np.ndarray) -> float:
         """Expectation of a diagonal observable given its diagonal."""
@@ -149,11 +191,7 @@ class DensityMatrix:
         rng = as_generator(seed)
         probs = self.probabilities()
         outcomes = rng.multinomial(shots, probs)
-        return {
-            index_to_bitstring(i, self.num_qubits): int(c)
-            for i, c in enumerate(outcomes)
-            if c
-        }
+        return nonzero_counts_dict(outcomes, self.num_qubits)
 
     def __repr__(self) -> str:
         return (

@@ -7,7 +7,8 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.exceptions import SimulatorError
-from repro.utils.bitstrings import bitstring_to_index, index_to_bitstring
+from repro.utils.bitstrings import bitstring_to_index
+from repro.utils.kernels import nonzero_counts_dict
 from repro.utils.rng import as_generator
 
 
@@ -33,11 +34,7 @@ def sample_counts(
     num_bits = size.bit_length() - 1
     rng = as_generator(seed)
     outcomes = rng.multinomial(shots, probs)
-    return {
-        index_to_bitstring(i, num_bits): int(c)
-        for i, c in enumerate(outcomes)
-        if c
-    }
+    return nonzero_counts_dict(outcomes, num_bits)
 
 
 def counts_to_probabilities(

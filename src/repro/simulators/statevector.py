@@ -16,7 +16,10 @@ import numpy as np
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Barrier, Delay, Instruction, Measure
 from repro.exceptions import SimulatorError
-from repro.utils.bitstrings import index_to_bitstring
+from repro.utils.kernels import (
+    nonzero_counts_dict,
+    nonzero_probability_dict,
+)
 from repro.utils.linalg import apply_matrix_to_qubits
 from repro.utils.rng import as_generator
 
@@ -83,13 +86,14 @@ class Statevector:
         return np.abs(self.data) ** 2
 
     def probability_dict(self, atol: float = 1e-12) -> dict[str, float]:
-        """Probabilities as bitstring dict, zero entries omitted."""
-        probs = self.probabilities()
-        return {
-            index_to_bitstring(i, self.num_qubits): float(p)
-            for i, p in enumerate(probs)
-            if p > atol
-        }
+        """Probabilities as bitstring dict, zero entries omitted.
+
+        Only the nonzero outcomes are converted to bitstrings, so the
+        cost scales with the support of the state, not 2**n.
+        """
+        return nonzero_probability_dict(
+            self.probabilities(), self.num_qubits, atol
+        )
 
     def expectation_value(
         self, operator: np.ndarray, qubits: Sequence[int] | None = None
@@ -122,11 +126,7 @@ class Statevector:
         probs = self.probabilities()
         probs = probs / probs.sum()
         outcomes = rng.multinomial(shots, probs)
-        return {
-            index_to_bitstring(i, self.num_qubits): int(c)
-            for i, c in enumerate(outcomes)
-            if c
-        }
+        return nonzero_counts_dict(outcomes, self.num_qubits)
 
     def __repr__(self) -> str:
         return f"Statevector({self.num_qubits} qubits, norm={self.norm:.6f})"

@@ -1,4 +1,5 @@
-"""Shared low-level utilities: linear algebra, bitstrings, RNG handling."""
+"""Shared low-level utilities: linear algebra, bitstrings, RNG handling,
+and the memoization layer backing the execution hot path."""
 
 from repro.utils.bitstrings import (
     bit_at,
@@ -23,6 +24,14 @@ from repro.utils.linalg import (
     state_fidelity,
     tensor_eye,
 )
+from repro.utils.cache import (
+    LRUCache,
+    caching_disabled,
+    clear_object_caches,
+    device_cache,
+    global_cache_stats,
+)
+from repro.utils.kernels import marginalize
 from repro.utils.rng import as_generator, derive_seed
 
 __all__ = [
@@ -47,4 +56,10 @@ __all__ = [
     "tensor_eye",
     "as_generator",
     "derive_seed",
+    "LRUCache",
+    "caching_disabled",
+    "clear_object_caches",
+    "device_cache",
+    "global_cache_stats",
+    "marginalize",
 ]

@@ -10,6 +10,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.utils.kernels import apply_matrix_flat, apply_plan, statevector_axes
+
 _ATOL = 1e-10
 
 
@@ -23,9 +25,17 @@ def kron_all(matrices: Sequence[np.ndarray]) -> np.ndarray:
     """
     if not matrices:
         raise ValueError("kron_all requires at least one matrix")
-    out = np.asarray(matrices[0], dtype=complex)
-    for mat in matrices[1:]:
-        out = np.kron(out, np.asarray(mat, dtype=complex))
+    mats = [np.asarray(mat, dtype=complex) for mat in matrices]
+    out = mats[0]
+    for mat in mats[1:]:
+        if out.ndim == 2 and mat.ndim == 2:
+            # broadcasting kron: one allocation per fold, no np.kron
+            # intermediate reshapes/concatenations
+            out = (
+                out[:, None, :, None] * mat[None, :, None, :]
+            ).reshape(out.shape[0] * mat.shape[0], out.shape[1] * mat.shape[1])
+        else:
+            out = np.kron(out, mat)
     return out
 
 
@@ -84,8 +94,11 @@ def apply_matrix_to_qubits(
 ) -> np.ndarray:
     """Apply a k-qubit ``matrix`` to ``qubits`` of a statevector.
 
-    Uses tensor reshaping, so the cost is O(2**n * 2**k) rather than
-    O(4**n).  ``state`` is not modified; a new array is returned.
+    Uses a precompiled transpose/matmul kernel (see
+    :mod:`repro.utils.kernels`), so the cost is O(2**n * 2**k) rather
+    than O(4**n) and the axis bookkeeping is computed once per
+    ``(num_qubits, qubits)`` pair.  ``state`` is not modified; a new
+    array is returned.
     """
     matrix = np.asarray(matrix, dtype=complex)
     k = len(qubits)
@@ -93,19 +106,9 @@ def apply_matrix_to_qubits(
         raise ValueError(
             f"matrix shape {matrix.shape} does not match {k} qubits"
         )
-    tensor = np.asarray(state, dtype=complex).reshape([2] * num_qubits)
-    # numpy axis 0 of the reshaped tensor is the most-significant qubit
-    # (qubit n-1); convert little-endian qubit labels to axes.
-    axes = [num_qubits - 1 - q for q in qubits]
-    # Move the target axes to the front, with qubits[0] (the LSB of the
-    # matrix) as the *last* of the moved axes.
-    order = list(reversed(axes))
-    tensor = np.moveaxis(tensor, order, range(k))
-    shape = tensor.shape
-    tensor = matrix @ tensor.reshape(1 << k, -1)
-    tensor = tensor.reshape(shape)
-    tensor = np.moveaxis(tensor, range(k), order)
-    return tensor.reshape(-1)
+    flat = np.asarray(state, dtype=complex).reshape(-1)
+    plan = apply_plan(num_qubits, statevector_axes(tuple(qubits), num_qubits))
+    return apply_matrix_flat(matrix, flat, plan)
 
 
 def projector(index: int, dim: int) -> np.ndarray:

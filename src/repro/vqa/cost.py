@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 from repro.exceptions import ProblemError
 from repro.problems.maxcut import MaxCutProblem
@@ -16,6 +16,16 @@ class CostFunction:
 
     def evaluate(self, counts: Mapping[str, int | float]) -> float:
         raise NotImplementedError
+
+    def evaluate_many(
+        self, counts_list: Sequence[Mapping[str, int | float]]
+    ) -> list[float]:
+        """Score a batch of counts (one per sweep point).
+
+        Subclasses with vectorizable scoring can override; the default
+        maps :meth:`evaluate` over the batch.
+        """
+        return [self.evaluate(counts) for counts in counts_list]
 
     def __call__(self, counts: Mapping[str, int | float]) -> float:
         return self.evaluate(counts)

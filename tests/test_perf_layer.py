@@ -1,0 +1,366 @@
+"""Tests for the performance layer: kernels, caches, and the batch API."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends import FakeGuadalupe, execute_circuit, execute_circuits
+from repro.circuits.circuit import QuantumCircuit
+from repro.core import ExecutionPipeline, HybridGatePulseModel
+from repro.noise.model import NoiseModel
+from repro.problems import MaxCutProblem, benchmark_graph
+from repro.pulse.channels import DriveChannel
+from repro.pulse.instructions import Play
+from repro.pulse.schedule import Schedule
+from repro.pulse.waveforms import Gaussian
+from repro.pulsesim.calibration import calibrate_cr, calibrate_rotation, calibrate_x
+from repro.pulsesim.solver import drive_channel_propagator
+from repro.utils.cache import (
+    LRUCache,
+    cache_key,
+    caching_disabled,
+    device_cache,
+    schedule_key,
+)
+from repro.utils.kernels import (
+    marginalize,
+    nonzero_counts_dict,
+    nonzero_probability_dict,
+)
+from repro.utils.linalg import apply_matrix_to_qubits, kron_all
+from repro.utils.rng import derive_seed
+from repro.vqa import ExpectedCutCost
+
+
+# ---------------------------------------------------------------------------
+# cache primitives
+# ---------------------------------------------------------------------------
+
+class TestLRUCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get_or_compute("a", lambda: 1) == 1
+        assert cache.get_or_compute("a", lambda: 2) == 1  # cached
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 0)  # refresh a
+        cache.get_or_compute("c", lambda: 3)  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_caching_disabled_context(self):
+        cache = LRUCache(maxsize=4)
+        cache.get_or_compute("k", lambda: "first")
+        with caching_disabled():
+            assert cache.get_or_compute("k", lambda: "fresh") == "fresh"
+        assert cache.get_or_compute("k", lambda: "x") == "first"
+
+    def test_cache_key_arrays(self):
+        a = np.array([1.0, 2.0])
+        assert cache_key("x", a) == cache_key("x", a.copy())
+        assert cache_key("x", a) != cache_key("x", a + 1)
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+def _naive_apply(matrix, state, qubits, num_qubits):
+    """The seed implementation, kept as a reference oracle."""
+    tensor = np.asarray(state, dtype=complex).reshape([2] * num_qubits)
+    axes = [num_qubits - 1 - q for q in qubits]
+    order = list(reversed(axes))
+    k = len(qubits)
+    tensor = np.moveaxis(tensor, order, range(k))
+    shape = tensor.shape
+    tensor = matrix @ tensor.reshape(1 << k, -1)
+    tensor = tensor.reshape(shape)
+    tensor = np.moveaxis(tensor, range(k), order)
+    return tensor.reshape(-1)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("qubits", [(0,), (3,), (1, 3), (3, 0), (2, 0, 4)])
+    def test_apply_matches_naive(self, qubits):
+        rng = np.random.default_rng(5)
+        n = 5
+        k = len(qubits)
+        state = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+        matrix = rng.normal(size=(1 << k, 1 << k)) + 1j * rng.normal(
+            size=(1 << k, 1 << k)
+        )
+        fast = apply_matrix_to_qubits(matrix, state, list(qubits), n)
+        ref = _naive_apply(matrix, state, list(qubits), n)
+        np.testing.assert_array_equal(fast, ref)
+
+    def test_marginalize_matches_loop(self):
+        rng = np.random.default_rng(2)
+        n = 6
+        probs = rng.random(1 << n)
+        positions = [4, 0, 2]
+        out = np.zeros(1 << len(positions))
+        for index, p in enumerate(probs):
+            key = 0
+            for pos, qubit in enumerate(positions):
+                key |= ((index >> qubit) & 1) << pos
+            out[key] += p
+        np.testing.assert_array_equal(
+            marginalize(probs, positions, n), out
+        )
+
+    def test_nonzero_dicts_skip_zeros(self):
+        probs = np.zeros(8)
+        probs[3] = 0.25
+        probs[6] = 0.75
+        assert nonzero_probability_dict(probs, 3) == {
+            "011": 0.25,
+            "110": 0.75,
+        }
+        counts = np.zeros(8, dtype=np.int64)
+        counts[5] = 17
+        assert nonzero_counts_dict(counts, 3) == {"101": 17}
+
+    def test_kron_all_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        mats = [
+            rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+            for _ in range(4)
+        ]
+        expected = mats[0]
+        for m in mats[1:]:
+            expected = np.kron(expected, m)
+        np.testing.assert_array_equal(kron_all(mats), expected)
+
+    def test_kron_all_mixed_sizes(self):
+        a = np.eye(2)
+        b = np.random.default_rng(0).normal(size=(4, 4))
+        np.testing.assert_array_equal(kron_all([a, b]), np.kron(a, b))
+
+
+# ---------------------------------------------------------------------------
+# cache layer semantics
+# ---------------------------------------------------------------------------
+
+class TestCalibrationCaching:
+    def test_calibrate_rotation_hits_cache(self):
+        backend = FakeGuadalupe()
+        device = backend.device
+        cache = device_cache(device, "calibrations", maxsize=256)
+        before = cache.misses
+        cal_a = calibrate_rotation(device, 0, math.pi / 2)
+        miss_after_first = cache.misses
+        cal_b = calibrate_rotation(device, 0, math.pi / 2)
+        assert cache.misses == miss_after_first > before
+        # identical numerics, but independent records (renaming one must
+        # not leak into the other)
+        np.testing.assert_array_equal(cal_a.unitary, cal_b.unitary)
+        assert cal_a.amp == cal_b.amp
+        cal_a.name = "renamed"
+        assert cal_b.name != "renamed"
+
+    def test_calibrate_x_sx_share_rotation_cache(self):
+        backend = FakeGuadalupe()
+        x1 = calibrate_x(backend.device, 1)
+        x2 = calibrate_x(backend.device, 1)
+        assert x1.name == x2.name == "x"
+        np.testing.assert_array_equal(x1.unitary, x2.unitary)
+
+    def test_calibrate_cr_cached_identical(self):
+        backend = FakeGuadalupe()
+        device = backend.device
+        pairs = device.coupled_pairs()
+        control, target = pairs[0]
+        cal_a = calibrate_cr(device, control, target, amp=0.9)
+        cal_b = calibrate_cr(device, control, target, amp=0.9)
+        assert cal_a.width_pi_2 == cal_b.width_pi_2
+        np.testing.assert_array_equal(
+            cal_a.x_control_unitary, cal_b.x_control_unitary
+        )
+
+    def test_drive_propagator_cache_identical(self):
+        backend = FakeGuadalupe()
+        device = backend.device
+        schedule = Schedule(name="probe")
+        schedule.append(
+            Play(Gaussian(160, 0.3, 40.0, angle=0.4), DriveChannel(0))
+        )
+        timeline = schedule.channel_timeline(DriveChannel(0))
+        u_first = drive_channel_propagator(timeline, device, 2)
+        with caching_disabled():
+            u_fresh = drive_channel_propagator(timeline, device, 2)
+        u_cached = drive_channel_propagator(timeline, device, 2)
+        np.testing.assert_array_equal(u_first, u_cached)
+        np.testing.assert_array_equal(u_first, u_fresh)
+
+    def test_schedule_key_distinguishes_params(self):
+        s1 = Schedule(name="a")
+        s1.append(Play(Gaussian(160, 0.3, 40.0), DriveChannel(0)))
+        s2 = Schedule(name="b")
+        s2.append(Play(Gaussian(160, 0.31, 40.0), DriveChannel(0)))
+        s3 = Schedule(name="c")
+        s3.append(Play(Gaussian(160, 0.3, 40.0), DriveChannel(0)))
+        assert schedule_key(s1) != schedule_key(s2)
+        assert schedule_key(s1) == schedule_key(s3)
+
+
+class TestNoiseModelCaching:
+    def test_relaxation_channel_cached(self):
+        model = NoiseModel(3)
+        model.set_relaxation(90_000.0, 70_000.0, 0.222)
+        c1 = model.relaxation_channel(0, 160)
+        c2 = model.relaxation_channel(0, 160)
+        assert c1 is c2
+        assert model._relaxation_cache.hits >= 1
+
+    def test_set_relaxation_invalidates(self):
+        model = NoiseModel(2)
+        model.set_relaxation(90_000.0, 70_000.0, 0.222)
+        c1 = model.relaxation_channel(0, 160)
+        model.set_relaxation(50_000.0, 40_000.0, 0.222)
+        c2 = model.relaxation_channel(0, 160)
+        assert c1 is not c2
+        assert not np.allclose(
+            c1.kraus_ops[0], c2.kraus_ops[0]
+        )
+
+    def test_relaxation_keyed_by_t1_t2(self):
+        model = NoiseModel(2)
+        model.set_relaxation([90_000.0, 90_000.0], [70_000.0, 70_000.0], 0.222)
+        # same T1/T2 on both qubits -> same cached channel object
+        assert model.relaxation_channel(0, 100) is model.relaxation_channel(1, 100)
+
+
+# ---------------------------------------------------------------------------
+# pulse jitter must stay stochastic despite propagator caching
+# ---------------------------------------------------------------------------
+
+class TestJitterWithCaching:
+    def test_jitter_randomness_preserved(self):
+        """Cached pulse unitaries must not freeze the per-execution jitter."""
+        backend = FakeGuadalupe()
+        assert backend.noise_model.pulse_jitter_local > 0
+        problem = MaxCutProblem(benchmark_graph(1))
+        model = HybridGatePulseModel(problem, backend.device)
+        circuit = model.build_circuit(model.initial_point(3))
+        pipeline = ExecutionPipeline(
+            backend=backend,
+            cost=ExpectedCutCost(problem),
+            shots=4096,
+        )
+        # warm every cache, then check different seeds still move counts
+        pipeline.evaluate(circuit, seed=0)
+        _, info_a = pipeline.evaluate(circuit, seed=1)
+        _, info_b = pipeline.evaluate(circuit, seed=2)
+        _, info_b2 = pipeline.evaluate(circuit, seed=2)
+        assert info_a["raw_counts"] != info_b["raw_counts"]
+        assert info_b["raw_counts"] == info_b2["raw_counts"]
+
+
+# ---------------------------------------------------------------------------
+# batch API
+# ---------------------------------------------------------------------------
+
+class TestBatchExecution:
+    def _sweep_circuits(self):
+        out = []
+        for theta in (0.2, 0.9, 1.7):
+            qc = QuantumCircuit(3)
+            qc.h(0)
+            qc.cx(0, 1)
+            qc.rzz(theta, 1, 2)
+            qc.measure_all()
+            out.append(qc)
+        return out
+
+    def test_batch_matches_individual_seed_for_seed(self):
+        backend = FakeGuadalupe()
+        circuits = self._sweep_circuits()
+        seeds = [11, 22, 33]
+        batch = execute_circuits(
+            circuits,
+            backend.target,
+            noise_model=backend.noise_model,
+            shots=1500,
+            seeds=seeds,
+            unitary_provider=backend.pulse_unitary,
+        )
+        singles = [
+            execute_circuit(
+                circuit,
+                backend.target,
+                noise_model=backend.noise_model,
+                shots=1500,
+                seed=seed,
+                unitary_provider=backend.pulse_unitary,
+            )
+            for circuit, seed in zip(circuits, seeds)
+        ]
+        for got, expected in zip(batch, singles):
+            assert dict(got.counts) == dict(expected.counts)
+            assert got.duration == expected.duration
+
+    def test_batch_seed_derivation(self):
+        backend = FakeGuadalupe()
+        circuits = self._sweep_circuits()
+        batch = execute_circuits(
+            circuits, backend.target, shots=400, seed=7
+        )
+        singles = [
+            execute_circuit(
+                circuit,
+                backend.target,
+                shots=400,
+                seed=derive_seed(7, "batch", index),
+            )
+            for index, circuit in enumerate(circuits)
+        ]
+        for got, expected in zip(batch, singles):
+            assert dict(got.counts) == dict(expected.counts)
+
+    def test_backend_run_batch_equals_sequential(self):
+        backend = FakeGuadalupe()
+        circuits = self._sweep_circuits()
+        together = backend.run(circuits, shots=800, seed=13)
+        one_by_one = [
+            backend.run(
+                circuit,
+                shots=800,
+                seeds=[derive_seed(13, "run", index)],
+            ).experiments[0]
+            for index, circuit in enumerate(circuits)
+        ]
+        for got, expected in zip(together.experiments, one_by_one):
+            assert dict(got.counts) == dict(expected.counts)
+
+    def test_pipeline_evaluate_many_matches_evaluate(self):
+        backend = FakeGuadalupe()
+        problem = MaxCutProblem(benchmark_graph(1))
+        model = HybridGatePulseModel(problem, backend.device)
+        pipeline = ExecutionPipeline(
+            backend=backend,
+            cost=ExpectedCutCost(problem),
+            shots=600,
+        )
+        circuits = [
+            model.build_circuit(model.initial_point(s)) for s in (1, 2)
+        ]
+        seeds = [101, 202]
+        batched = pipeline.evaluate_many(circuits, seeds=seeds)
+        sequential = [
+            pipeline.evaluate(circuit, seed=seed)
+            for circuit, seed in zip(circuits, seeds)
+        ]
+        for (bv, binfo), (sv, sinfo) in zip(batched, sequential):
+            assert bv == sv
+            assert binfo["raw_counts"] == sinfo["raw_counts"]
+
+    def test_seed_count_mismatch_raises(self):
+        backend = FakeGuadalupe()
+        with pytest.raises(Exception):
+            execute_circuits(
+                self._sweep_circuits(), backend.target, seeds=[1]
+            )
