@@ -16,6 +16,10 @@ benchmarks time the live code under
 cache-free behaviour but still benefits from the new kernels — i.e. the
 reported speedups are *lower bounds* on the true improvement over the
 seed.
+
+The sharding layer above this engine has its own companion suite:
+``benchmarks/bench_service.py`` emits ``BENCH_service.json`` with the
+worker-count scaling curve and store-replay numbers (see SERVICE.md).
 """
 
 import json

@@ -65,6 +65,9 @@ class SimulatedBackend:
         self._pulse_unitary_cache = LRUCache(
             maxsize=2048, name=f"pulse_unitary[{name}]"
         )
+        # sharded execution services keyed by (workers, options); see
+        # execution_service()
+        self._services: dict = {}
 
     # ------------------------------------------------------------------
     @property
@@ -83,6 +86,7 @@ class SimulatedBackend:
         with_noise: bool = True,
         with_readout_error: bool = True,
         seeds: Sequence[int | None] | None = None,
+        jobs: int = 1,
     ) -> Result:
         """Execute one or more circuits and return sampled counts.
 
@@ -92,6 +96,11 @@ class SimulatedBackend:
         ``seeds`` overrides the per-circuit shot seeds (one entry per
         circuit); by default they derive from ``seed`` exactly as the
         historical per-circuit loop did.
+
+        ``jobs > 1`` shards the batch across the backend's persistent
+        :class:`~repro.service.futures.ExecutionService` worker pool.
+        Per-circuit seeds are resolved *before* sharding, so
+        ``jobs=N`` returns byte-identical counts to ``jobs=1``.
         """
         if isinstance(circuits, QuantumCircuit):
             circuits = [circuits]
@@ -100,6 +109,21 @@ class SimulatedBackend:
                 derive_seed(seed, "run", index) if seed is not None else None
                 for index in range(len(circuits))
             ]
+        if jobs > 1 and len(circuits) > 1:
+            service = self.execution_service(jobs)
+            experiments, meta = service.run_batch(
+                circuits,
+                shots=shots,
+                seeds=seeds,
+                with_noise=with_noise,
+                with_readout_error=with_readout_error,
+            )
+            return Result(
+                experiments,
+                backend_name=self.name,
+                shots=shots,
+                metadata={"service": meta},
+            )
         experiments = execute_circuits(
             circuits,
             target=self.target,
@@ -110,6 +134,41 @@ class SimulatedBackend:
             with_readout_error=with_readout_error,
         )
         return Result(experiments, backend_name=self.name, shots=shots)
+
+    def execution_service(self, jobs: int, **options):
+        """This backend's persistent sharded execution service.
+
+        Created lazily on first use and reused for every later
+        ``run(..., jobs=N)`` call with the same worker count, so one
+        optimizer run pays the pool start-up (fork + cache warm) once.
+        Pass ``options`` (``store=``, ``max_pending=``, ...) through to
+        :class:`~repro.service.futures.ExecutionService`; they only take
+        effect when the service for this worker count is first built.
+        Call :meth:`close_services` to tear the pools down.
+        """
+        from repro.service.futures import ExecutionService
+
+        key = (int(jobs), tuple(sorted(options)))
+        service = self._services.get(key)
+        if service is None:
+            service = ExecutionService(self, jobs=jobs, **options)
+            self._services[key] = service
+        return service
+
+    def close_services(self) -> None:
+        """Shut down any worker pools this backend spawned."""
+        for service in self._services.values():
+            service.shutdown()
+        self._services.clear()
+
+    def __getstate__(self) -> dict:
+        """Pickle support for shipping the backend to pool workers.
+
+        Live services hold process pools and never cross the boundary.
+        """
+        state = dict(self.__dict__)
+        state["_services"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # pulse support

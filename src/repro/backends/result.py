@@ -78,10 +78,14 @@ class Result:
         experiments: list[ExperimentResult],
         backend_name: str = "",
         shots: int = 0,
+        metadata: dict | None = None,
     ) -> None:
         self.experiments = experiments
         self.backend_name = backend_name
         self.shots = shots
+        #: run-level metadata; the execution service reports its shard /
+        #: worker / cache statistics under the ``"service"`` key
+        self.metadata = dict(metadata or {})
 
     def get_counts(self, index: int = 0) -> Counts:
         return self.experiments[index].counts

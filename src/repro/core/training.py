@@ -12,7 +12,7 @@ mapping, CVaR coefficient 0.3).
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -47,6 +47,9 @@ class ExecutionPipeline:
     use_m3: bool = False
     shots: int = 1024
     routing_seed: int = 11
+    #: worker-pool width for batched evaluations; 1 = inline (see
+    #: SERVICE.md — results are seed-identical for any value)
+    jobs: int = 1
     _mitigator_cache: dict = field(default_factory=dict, repr=False)
     _pulse_pass: PulseEfficientRZZ | None = field(default=None, repr=False)
 
@@ -122,7 +125,10 @@ class ExecutionPipeline:
             for s in seeds
         ]
         result = self.backend.run(
-            prepared, shots=self.shots, seeds=engine_seeds
+            prepared,
+            shots=self.shots,
+            seeds=engine_seeds,
+            jobs=self.jobs,
         )
         return result.experiments
 
@@ -196,13 +202,24 @@ def train_model(
     optimizer: Optimizer,
     seed: int | None = None,
     initial_point: Sequence[float] | None = None,
+    jobs: int | None = None,
 ) -> TrainResult:
     """Optimise ``model`` through ``pipeline`` with ``optimizer``.
 
     The objective is the negated cost (optimizers minimise); every
     evaluation uses a fresh derived shot-noise seed so the optimizer sees
     realistic sampling noise, as on hardware.
+
+    The objective also exposes a batched form (``objective.many``):
+    optimizers that evaluate several candidate points per step (SPSA's
+    paired perturbations, population methods) score the whole population
+    through :meth:`ExecutionPipeline.evaluate_many` in one call, which
+    the execution service can shard across ``jobs`` workers.  Evaluation
+    numbering — and therefore every derived shot seed — matches the
+    sequential path exactly, so results are identical for any ``jobs``.
     """
+    if jobs is not None and jobs != pipeline.jobs:
+        pipeline = replace(pipeline, jobs=jobs)
     trace = ConvergenceTrace()
     counter = {"n": 0}
 
@@ -214,6 +231,22 @@ def train_model(
         )
         trace.record(values, value)
         return -value
+
+    def objective_many(points: Sequence[np.ndarray]) -> list[float]:
+        circuits = []
+        eval_seeds = []
+        for values in points:
+            counter["n"] += 1
+            circuits.append(model.build_circuit(values))
+            eval_seeds.append(derive_seed(seed, "eval", counter["n"]))
+        scored = pipeline.evaluate_many(circuits, seeds=eval_seeds)
+        out = []
+        for values, (value, _info) in zip(points, scored):
+            trace.record(values, value)
+            out.append(-value)
+        return out
+
+    objective.many = objective_many
 
     if initial_point is None:
         initial_point = model.initial_point(derive_seed(seed, "init"))

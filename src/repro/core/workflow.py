@@ -61,6 +61,7 @@ class HybridWorkflow:
         shots: int = 1024,
         cvar_alpha: float = 0.3,
         seed: int | None = None,
+        jobs: int = 1,
     ) -> None:
         self.problem = problem
         self.backend = backend
@@ -72,6 +73,9 @@ class HybridWorkflow:
         self.shots = shots
         self.cvar_alpha = cvar_alpha
         self.seed = seed
+        #: worker-pool width for every stage's batched evaluations;
+        #: results are seed-identical for any value (SERVICE.md)
+        self.jobs = jobs
 
     # ------------------------------------------------------------------
     def _pipeline(self, stage: str) -> ExecutionPipeline:
@@ -90,6 +94,7 @@ class HybridWorkflow:
             gate_optimization=stage in ("go", "m3", "cvar"),
             use_m3=stage in ("m3", "cvar"),
             shots=self.shots,
+            jobs=self.jobs,
         )
 
     def run_stage(self, stage: str) -> StageResult:

@@ -44,13 +44,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2023)
     parser.add_argument("--shots", type=int, default=1024)
     parser.add_argument("--maxiter", type=int, default=50)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for batched circuit evaluations; "
+        "results are seed-identical for any value",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     config = ExperimentConfig(
         shots=args.shots,
         maxiter=args.maxiter,
         seed=args.seed,
         quick=args.quick,
+        jobs=args.jobs,
     )
     names = sorted(DRIVERS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -24,6 +24,9 @@ class ExperimentConfig:
     cvar_alpha: float = 0.3
     seed: int = 2023
     quick: bool = False
+    #: worker-pool width for batched circuit evaluations (``--jobs``);
+    #: results are seed-identical for any value (see SERVICE.md)
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.quick:

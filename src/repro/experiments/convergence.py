@@ -47,6 +47,7 @@ def run(
         backend=backend,
         cost=ExpectedCutCost(problem),
         shots=config.shots,
+        jobs=config.jobs,
     )
     models = {
         "gate": (GateLevelModel(problem), config.maxiter),

@@ -50,6 +50,7 @@ def run(
         backend=backend,
         cost=ExpectedCutCost(problem),
         shots=config.shots,
+        jobs=config.jobs,
     )
     maximum = problem.maximum_cut()
 

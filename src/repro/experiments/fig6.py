@@ -50,6 +50,7 @@ def run(config: ExperimentConfig | None = None) -> Fig6Result:
                 optimizer_factory=lambda: COBYLA(maxiter=config.maxiter),
                 shots=config.shots,
                 seed=seed,
+                jobs=config.jobs,
             )
             result.ars[(backend_name, task, "gate")] = (
                 gate_workflow.run_stage("m3").approximation_ratio
@@ -63,6 +64,7 @@ def run(config: ExperimentConfig | None = None) -> Fig6Result:
                 optimizer_factory=lambda: COBYLA(maxiter=config.maxiter),
                 shots=config.shots,
                 seed=seed,
+                jobs=config.jobs,
             )
             # Step I on the raw-trained parameters, then the optimized
             # (GO + M3) stage with the compressed mixer

@@ -62,6 +62,7 @@ def run(
                 seed=derive_seed(
                     config.seed, "table2", backend_name, model_name
                 ),
+                jobs=config.jobs,
             )
             stage_results = workflow.run_all(STAGES)
             for stage, stage_result in stage_results.items():

@@ -1,0 +1,31 @@
+"""Sharded execution service over the batched engine.
+
+See SERVICE.md for the architecture: job specs (``jobs``), the
+work-stealing shard planner and worker protocol (``scheduler``), the
+futures facade with backpressure (``futures``) and the content-addressed
+result store (``store``).
+"""
+
+from repro.service.jobs import (
+    CircuitJob,
+    SweepJob,
+    backend_config_digest,
+    circuit_fingerprint,
+    derive_job_seeds,
+    job_fingerprint,
+)
+from repro.service.scheduler import plan_shards
+from repro.service.futures import ExecutionService
+from repro.service.store import ResultStore
+
+__all__ = [
+    "CircuitJob",
+    "SweepJob",
+    "ExecutionService",
+    "ResultStore",
+    "backend_config_digest",
+    "circuit_fingerprint",
+    "derive_job_seeds",
+    "job_fingerprint",
+    "plan_shards",
+]

@@ -1,0 +1,462 @@
+"""The execution service: a futures API over the batched engine.
+
+:class:`ExecutionService` turns one in-process backend into a shardable
+service::
+
+    service = ExecutionService(backend, jobs=4)
+    futures = [service.submit(job) for job in jobs]
+    for future in service.as_completed(futures):
+        counts = future.result().counts
+    service.shutdown()
+
+* ``jobs=1`` (the default) executes inline — no processes, no pickling,
+  identical code path to ``backend.run``; every deployment has this
+  graceful single-process fallback.
+* ``jobs=N`` fans shards out to a ``ProcessPoolExecutor`` whose workers
+  build the backend once per process and warm the propagator /
+  calibration caches (see ``scheduler.py``).
+* Results are **seed-identical** across worker counts: per-job seeds are
+  resolved before sharding, and the engine derives every stochastic
+  quantity from them.
+* ``max_pending`` bounds in-flight jobs; :meth:`submit` blocks once the
+  bound is reached (backpressure instead of unbounded queue growth).
+* An optional :class:`~repro.service.store.ResultStore` serves repeated
+  deterministic jobs from disk without touching a worker.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+import threading
+import time
+from collections.abc import Iterable, Iterator, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor
+
+from repro.exceptions import BackendError
+from repro.service.jobs import (
+    CircuitJob,
+    SweepJob,
+    backend_config_digest,
+    job_fingerprint,
+)
+from repro.service.scheduler import (
+    DEFAULT_SHARDS_PER_WORKER,
+    ShardResult,
+    _initialize_worker,
+    _run_shard,
+    plan_shards,
+    worker_backend_spec,
+)
+from repro.service.store import ResultStore
+from repro.utils.cache import cache_stats_totals
+
+__all__ = ["ExecutionService"]
+
+
+class ExecutionService:
+    """Submit / map / as_completed / shutdown over a worker pool."""
+
+    def __init__(
+        self,
+        backend,
+        jobs: int = 1,
+        *,
+        max_pending: int | None = None,
+        store: ResultStore | str | None = None,
+        shards_per_worker: int = DEFAULT_SHARDS_PER_WORKER,
+        warm: bool = True,
+        mp_context=None,
+    ) -> None:
+        if jobs < 1:
+            raise BackendError("jobs must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise BackendError("max_pending must be >= 1")
+        self.backend = backend
+        self.workers = int(jobs)
+        self.shards_per_worker = int(shards_per_worker)
+        self.warm = warm
+        self.store = (
+            ResultStore(store) if isinstance(store, str) else store
+        )
+        self._mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+        self._max_pending = max_pending
+        self._pending_slots = (
+            threading.BoundedSemaphore(max_pending)
+            if max_pending is not None
+            else None
+        )
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._closed = False
+        self._backend_key: str | None = None
+        self._stats = {
+            "jobs_submitted": 0,
+            "jobs_run": 0,
+            "shards_dispatched": 0,
+            "store_hits": 0,
+            "store_misses": 0,
+            "max_pending_seen": 0,
+            "per_worker": {},
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def _ensure_executor(self, warm_circuit=None) -> ProcessPoolExecutor:
+        if self._closed:
+            raise BackendError("service is shut down")
+        if self._executor is None:
+            warm_blob = (
+                pickle.dumps(warm_circuit)
+                if (self.warm and warm_circuit is not None)
+                else None
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._mp_context,
+                initializer=_initialize_worker,
+                initargs=(worker_backend_spec(self.backend), warm_blob),
+            )
+        return self._executor
+
+    def start(self) -> "ExecutionService":
+        """Eagerly start the worker pool and prove it can run a task.
+
+        The pool is otherwise created lazily on first dispatch, so a
+        broken multiprocessing environment would only surface mid-batch.
+        This round-trips a no-op through a worker (running the pool
+        initializer on the way) and raises here instead — the probe the
+        examples use for their graceful single-process fallback.
+        Inline services are a no-op.
+        """
+        if self.parallel:
+            self._ensure_executor().submit(os.getpid).result()
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool; the service cannot be reused after."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    def __enter__(self) -> "ExecutionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:
+        # backends cache services; when a backend is collected its pools
+        # must not linger as idle worker processes
+        try:
+            self.shutdown(wait=False)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _job_started(self, count: int = 1) -> None:
+        with self._lock:
+            self._pending += count
+            self._stats["max_pending_seen"] = max(
+                self._stats["max_pending_seen"], self._pending
+            )
+
+    def _job_finished(self, count: int = 1) -> None:
+        with self._lock:
+            self._pending -= count
+        if self._pending_slots is not None:
+            for _ in range(count):
+                self._pending_slots.release()
+
+    def _acquire_slots(self, count: int = 1) -> None:
+        if self._pending_slots is not None:
+            for _ in range(count):
+                self._pending_slots.acquire()
+
+    def _absorb_shard(self, shard: ShardResult) -> None:
+        with self._lock:
+            self._stats["jobs_run"] += shard.jobs_run
+            self._stats["per_worker"][shard.worker_pid] = dict(
+                shard.cache_totals,
+                wall_seconds=round(
+                    shard.wall_seconds
+                    + self._stats["per_worker"]
+                    .get(shard.worker_pid, {})
+                    .get("wall_seconds", 0.0),
+                    6,
+                ),
+            )
+
+    def stats(self) -> dict:
+        """Service counters plus store and (inline) cache statistics."""
+        with self._lock:
+            out = {
+                "workers": self.workers,
+                "pending": self._pending,
+                **{
+                    k: (dict(v) if isinstance(v, dict) else v)
+                    for k, v in self._stats.items()
+                },
+            }
+        if self.store is not None:
+            out["store"] = self.store.stats()
+        if not self.parallel:
+            out["per_worker"] = {"inline": cache_stats_totals()}
+        return out
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _store_key(self, job: CircuitJob) -> str | None:
+        if self.store is None:
+            return None
+        if self._backend_key is None:
+            # name alone is ambiguous (two same-named backends may carry
+            # different physics); the digest disambiguates them.  It is
+            # snapshotted here — mutating the backend in place after the
+            # first store access requires a fresh service.
+            self._backend_key = (
+                f"{getattr(self.backend, 'name', '')}:"
+                f"{backend_config_digest(self.backend)}"
+            )
+        return job_fingerprint(job, self._backend_key)
+
+    def _store_lookup(self, job: CircuitJob):
+        """(key, experiment|None): consult the store for one job."""
+        key = self._store_key(job)
+        if key is None:
+            return None, None
+        experiment = self.store.get(key)
+        with self._lock:
+            if experiment is not None:
+                self._stats["store_hits"] += 1
+            else:
+                self._stats["store_misses"] += 1
+        return key, experiment
+
+    def _run_inline(self, job: CircuitJob):
+        result = self.backend.run(
+            job.circuit,
+            shots=job.shots,
+            seeds=[job.seed],
+            with_noise=job.with_noise,
+            with_readout_error=job.with_readout_error,
+        )
+        return result.experiments[0]
+
+    def submit(self, job: CircuitJob) -> Future:
+        """Schedule one job; returns a future of its ExperimentResult.
+
+        Blocks while ``max_pending`` jobs are already in flight — the
+        backpressure contract callers rely on instead of an unbounded
+        submission queue.
+        """
+        if self._closed:
+            raise BackendError("service is shut down")
+        if not isinstance(job, CircuitJob):
+            raise BackendError(f"submit expects a CircuitJob, got {job!r}")
+        with self._lock:
+            self._stats["jobs_submitted"] += 1
+        key, stored = self._store_lookup(job)
+        if stored is not None:
+            future: Future = Future()
+            future.set_result(stored)
+            return future
+        self._acquire_slots()
+        self._job_started()
+        if not self.parallel:
+            future = Future()
+            try:
+                experiment = self._run_inline(job)
+                with self._lock:
+                    self._stats["jobs_run"] += 1
+                if key is not None:
+                    self.store.put(key, experiment)
+                future.set_result(experiment)
+            except BaseException as exc:  # propagate through the future
+                future.set_exception(exc)
+            finally:
+                self._job_finished()
+            return future
+        try:
+            executor = self._ensure_executor(warm_circuit=job.circuit)
+            with self._lock:
+                self._stats["shards_dispatched"] += 1
+            shard_future = executor.submit(_run_shard, [(0, job)])
+        except BaseException:
+            self._job_finished()
+            raise
+        future = Future()
+
+        def _resolve(done: Future) -> None:
+            try:
+                shard: ShardResult = done.result()
+                self._absorb_shard(shard)
+                experiment = shard.experiments[0][1]
+                if key is not None:
+                    self.store.put(key, experiment)
+            except BaseException as exc:
+                # includes store-write failures: the caller's future must
+                # always resolve, never hang
+                future.set_exception(exc)
+            else:
+                future.set_result(experiment)
+            finally:
+                self._job_finished()
+
+        shard_future.add_done_callback(_resolve)
+        return future
+
+    def map(
+        self, jobs: SweepJob | Sequence[CircuitJob]
+    ) -> list:
+        """Run a batch of jobs; ExperimentResults in submission order.
+
+        The batch is planned into contiguous shards
+        (:func:`~repro.service.scheduler.plan_shards`) and dispatched to
+        the pool; store hits are served without touching a worker.
+        """
+        if isinstance(jobs, SweepJob):
+            jobs = jobs.jobs()
+        jobs = list(jobs)
+        experiments, _meta = self.run_jobs(jobs)
+        return experiments
+
+    def run_jobs(
+        self, jobs: Sequence[CircuitJob]
+    ) -> tuple[list, dict]:
+        """Ordered results plus the batch's service metadata."""
+        if self._closed:
+            raise BackendError("service is shut down")
+        jobs = list(jobs)
+        with self._lock:
+            self._stats["jobs_submitted"] += len(jobs)
+        start = time.perf_counter()
+        results: list = [None] * len(jobs)
+        keys: list[str | None] = [None] * len(jobs)
+        missing: list[int] = []
+        for index, job in enumerate(jobs):
+            key, stored = self._store_lookup(job)
+            keys[index] = key
+            if stored is not None:
+                results[index] = stored
+            else:
+                missing.append(index)
+        store_hits = len(jobs) - len(missing)
+
+        shard_count = 0
+        if missing and not self.parallel:
+            for index in missing:
+                results[index] = self._run_inline(jobs[index])
+                with self._lock:
+                    self._stats["jobs_run"] += 1
+                if keys[index] is not None:
+                    self.store.put(keys[index], results[index])
+        elif missing:
+            executor = self._ensure_executor(
+                warm_circuit=jobs[missing[0]].circuit
+            )
+            shards = plan_shards(
+                len(missing),
+                self.workers,
+                shards_per_worker=self.shards_per_worker,
+                min_shard_size=1,
+            )
+            if self._max_pending is not None:
+                # backpressure bound: no shard may need more in-flight
+                # slots than the bound allows
+                shards = [
+                    shard[pos : pos + self._max_pending]
+                    for shard in shards
+                    for pos in range(0, len(shard), self._max_pending)
+                ]
+            shard_count = len(shards)
+            futures: list[Future] = []
+            for shard in shards:
+                indexed = [
+                    (missing[pos], jobs[missing[pos]]) for pos in shard
+                ]
+                self._acquire_slots(len(indexed))
+                self._job_started(len(indexed))
+                with self._lock:
+                    self._stats["shards_dispatched"] += 1
+                try:
+                    shard_future = executor.submit(_run_shard, indexed)
+                except BaseException:
+                    # a failed dispatch (e.g. broken pool) must hand its
+                    # backpressure slots back, or retries deadlock
+                    self._job_finished(len(indexed))
+                    raise
+                shard_future.add_done_callback(
+                    lambda done, n=len(indexed): self._job_finished(n)
+                )
+                futures.append(shard_future)
+            failure: BaseException | None = None
+            for shard_future in futures:
+                try:
+                    shard: ShardResult = shard_future.result()
+                except BaseException as exc:
+                    failure = failure or exc
+                    continue
+                self._absorb_shard(shard)
+                for index, experiment in shard.experiments:
+                    results[index] = experiment
+                    if keys[index] is not None:
+                        self.store.put(keys[index], experiment)
+            if failure is not None:
+                raise failure
+        meta = {
+            "jobs": len(jobs),
+            "workers": self.workers if missing else 0,
+            "shards": shard_count,
+            "store_hits": store_hits,
+            "wall_seconds": round(time.perf_counter() - start, 6),
+            "per_worker": self.stats()["per_worker"],
+        }
+        return results, meta
+
+    def run_batch(
+        self,
+        circuits: Sequence,
+        shots: int,
+        seeds: Sequence[int | None],
+        with_noise: bool = True,
+        with_readout_error: bool = True,
+    ) -> tuple[list, dict]:
+        """The backend integration point: pre-resolved seeds in, ordered
+        ExperimentResults + service metadata out."""
+        jobs = [
+            CircuitJob(
+                circuit=circuit,
+                shots=shots,
+                seed=seed,
+                with_noise=with_noise,
+                with_readout_error=with_readout_error,
+            )
+            for circuit, seed in zip(circuits, seeds)
+        ]
+        return self.run_jobs(jobs)
+
+    @staticmethod
+    def as_completed(
+        futures: Iterable[Future], timeout: float | None = None
+    ) -> Iterator[Future]:
+        """Yield futures as they finish (store hits come back first)."""
+        return concurrent.futures.as_completed(futures, timeout=timeout)
+
+    def __repr__(self) -> str:
+        mode = f"{self.workers} workers" if self.parallel else "inline"
+        return (
+            f"ExecutionService({getattr(self.backend, 'name', '?')!r}, "
+            f"{mode})"
+        )

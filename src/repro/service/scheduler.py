@@ -1,0 +1,178 @@
+"""Shard planning and the process-pool worker protocol.
+
+The scheduler turns a list of :class:`~repro.service.jobs.CircuitJob`
+specs into *shards* — contiguous index runs dispatched as single pool
+tasks.  Planning is work-stealing by oversubscription: the batch splits
+into more shards than workers (``shards_per_worker`` each, by default),
+all shards go into the executor's shared queue, and faster workers
+naturally pull more of them.  Contiguity matters: neighbouring sweep
+points share pulse propagators and noise channels, so keeping them on
+one worker keeps its caches hot.
+
+Workers are plain ``ProcessPoolExecutor`` processes.  Each one builds its
+backend exactly once via :func:`_initialize_worker` (from the fake-spec
+name when possible, else from a pickled backend) and optionally warms
+the PR-1 cache layers by executing a representative circuit with a
+single shot.  Shard results carry per-worker cache hit/miss totals back
+to the parent so the service can report them in its result metadata.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import BackendError
+from repro.service.jobs import CircuitJob
+from repro.utils.cache import cache_stats_totals
+
+__all__ = [
+    "ShardResult",
+    "plan_shards",
+    "worker_backend_spec",
+]
+
+#: default oversubscription factor for work stealing
+DEFAULT_SHARDS_PER_WORKER = 4
+
+
+def plan_shards(
+    num_jobs: int,
+    workers: int,
+    shards_per_worker: int = DEFAULT_SHARDS_PER_WORKER,
+    min_shard_size: int = 1,
+) -> list[list[int]]:
+    """Split ``num_jobs`` job indices into balanced contiguous shards.
+
+    Targets ``workers * shards_per_worker`` shards (work stealing needs
+    spare shards for fast workers to grab) but never creates shards
+    smaller than ``min_shard_size`` and never more shards than jobs.
+    """
+    if num_jobs <= 0:
+        return []
+    if workers < 1 or shards_per_worker < 1 or min_shard_size < 1:
+        raise BackendError("workers/shards/shard size must be positive")
+    target = min(
+        num_jobs,
+        workers * shards_per_worker,
+        max(1, num_jobs // min_shard_size),
+    )
+    # at least one shard per worker when there is enough work
+    target = max(target, min(workers, num_jobs))
+    base, extra = divmod(num_jobs, target)
+    shards: list[list[int]] = []
+    start = 0
+    for shard_index in range(target):
+        size = base + (1 if shard_index < extra else 0)
+        shards.append(list(range(start, start + size)))
+        start += size
+    return shards
+
+
+@dataclass
+class ShardResult:
+    """What one pool task returns to the parent process."""
+
+    #: ``(job_index, ExperimentResult)`` pairs, shard order
+    experiments: list
+    worker_pid: int
+    #: cumulative per-worker cache totals {"hits", "misses", "caches"}
+    cache_totals: dict
+    wall_seconds: float
+    jobs_run: int
+
+
+# ---------------------------------------------------------------------------
+# worker-side state and entry points
+# ---------------------------------------------------------------------------
+
+#: per-process state: populated once by the pool initializer
+_WORKER: dict = {}
+
+
+def worker_backend_spec(backend) -> tuple[str, object]:
+    """A picklable recipe for rebuilding ``backend`` in a worker.
+
+    The *live* backend is pickled — never rebuilt from its name — so
+    in-place customizations (tweaked noise parameters, edited device
+    physics) survive the process boundary and ``jobs=N`` stays
+    seed-identical to ``jobs=1`` even on modified backends.  The replica
+    is bit-faithful: the engine draws every stochastic quantity from
+    per-job seeds.
+    """
+    return ("pickle", pickle.dumps(backend))
+
+
+def _realize_backend(spec: tuple[str, object]):
+    kind, payload = spec
+    if kind == "pickle":
+        return pickle.loads(payload)
+    raise BackendError(f"unknown backend spec kind {kind!r}")
+
+
+def _initialize_worker(
+    spec: tuple[str, object], warm_blob: bytes | None
+) -> None:
+    """Pool initializer: build the backend once per process and warm it.
+
+    ``warm_blob`` is a pickled representative circuit from the first
+    batch; executing it with one shot populates the propagator,
+    calibration, noise-channel and measure-duration caches that every
+    subsequent shard on this worker will hit.
+    """
+    backend = _realize_backend(spec)
+    _WORKER["backend"] = backend
+    # with a fork start method the child inherits the parent's counters;
+    # snapshot them so reported totals are this worker's own work
+    if warm_blob is not None:
+        circuit = pickle.loads(warm_blob)
+        try:
+            backend.run(circuit, shots=1, seeds=[0])
+        except Exception:
+            # unwarmable circuit: shards still run, just cold — a warm
+            # failure must never break the pool initializer (the job's
+            # own run will surface any real error diagnosably)
+            pass
+    _WORKER["baseline"] = cache_stats_totals()
+
+
+def _worker_cache_totals() -> dict:
+    totals = cache_stats_totals()
+    baseline = _WORKER.get("baseline")
+    if baseline:
+        totals = {
+            "hits": totals["hits"] - baseline["hits"],
+            "misses": totals["misses"] - baseline["misses"],
+            "caches": totals["caches"],
+        }
+    return totals
+
+
+def _run_shard(
+    indexed_jobs: Sequence[tuple[int, CircuitJob]],
+) -> ShardResult:
+    """Pool task: execute one shard of jobs on this worker's backend."""
+    backend = _WORKER.get("backend")
+    if backend is None:
+        raise BackendError("worker used before initialization")
+    start = time.perf_counter()
+    experiments = []
+    for index, job in indexed_jobs:
+        result = backend.run(
+            job.circuit,
+            shots=job.shots,
+            seeds=[job.seed],
+            with_noise=job.with_noise,
+            with_readout_error=job.with_readout_error,
+        )
+        experiments.append((index, result.experiments[0]))
+    return ShardResult(
+        experiments=experiments,
+        worker_pid=os.getpid(),
+        cache_totals=_worker_cache_totals(),
+        wall_seconds=time.perf_counter() - start,
+        jobs_run=len(experiments),
+    )

@@ -1,0 +1,200 @@
+"""Content-addressed on-disk result store.
+
+Repeated sweeps are the norm in the machine-in-loop workflow: the same
+(circuit, shots, seed, backend) job recurs across optimizer restarts,
+duration searches and figure regenerations.  The store keys each
+deterministic job by the SHA-256 of its full content
+(:func:`~repro.service.jobs.job_fingerprint`) and serves repeats from
+disk.
+
+Layout (documented in SERVICE.md)::
+
+    <root>/<aa>/<hash>.json   counts, duration, scalar metadata
+    <root>/<aa>/<hash>.npz    array-valued metadata payloads (optional)
+
+where ``<aa>`` is the first two hex digits of the hash (fan-out so one
+directory never holds millions of entries).  Writes are atomic
+(temp file + ``os.replace``), so a crashed run never leaves a torn
+entry.  Unseeded jobs are never stored — fresh entropy must stay fresh.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends.result import Counts, ExperimentResult
+from repro.exceptions import BackendError
+
+__all__ = ["ResultStore"]
+
+_FORMAT = "repro-service-store-v1"
+
+
+def _scalar(value, context: str):
+    """JSON-encode one scalar, preserving its numeric type."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    raise BackendError(
+        f"cannot store metadata entry {context} of type "
+        f"{type(value).__name__}"
+    )
+
+
+def _encode_metadata(metadata: dict) -> tuple[dict, dict]:
+    """Split metadata into a JSON-safe dict and an array payload dict."""
+    plain: dict = {}
+    arrays: dict = {}
+    for key, value in metadata.items():
+        if isinstance(value, np.ndarray):
+            arrays[str(key)] = value
+        elif isinstance(value, dict):
+            # int-keyed dicts (clbit_to_qubit) survive as pair lists
+            plain[str(key)] = {
+                "__pairs__": [
+                    [int(k), int(v)] for k, v in value.items()
+                ]
+            }
+        elif isinstance(value, (list, tuple)):
+            plain[str(key)] = [
+                _scalar(item, f"{key!r}[{pos}]")
+                for pos, item in enumerate(value)
+            ]
+        else:
+            plain[str(key)] = _scalar(value, repr(key))
+    return plain, arrays
+
+
+def _decode_metadata(plain: dict, arrays: dict) -> dict:
+    out: dict = {}
+    for key, value in plain.items():
+        if isinstance(value, dict) and "__pairs__" in value:
+            out[key] = {k: v for k, v in value["__pairs__"]}
+        else:
+            out[key] = value
+    out.update(arrays)
+    return out
+
+
+class ResultStore:
+    """Durable cache of :class:`ExperimentResult` keyed by content hash."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        if len(key) < 8 or not all(
+            c in "0123456789abcdef" for c in key
+        ):
+            raise BackendError(f"malformed store key {key!r}")
+        shard = self.root / key[:2]
+        return shard / f"{key}.json", shard / f"{key}.npz"
+
+    def __contains__(self, key: str) -> bool:
+        return self._paths(key)[0].exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> ExperimentResult | None:
+        """Load a stored result, or ``None`` on a miss."""
+        json_path, npz_path = self._paths(key)
+        try:
+            payload = json.loads(json_path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if payload.get("format") != _FORMAT:
+            self.misses += 1
+            return None
+        arrays: dict = {}
+        if payload.get("has_arrays"):
+            try:
+                with np.load(npz_path) as data:
+                    arrays = {name: data[name] for name in data.files}
+            except FileNotFoundError:
+                self.misses += 1
+                return None
+        self.hits += 1
+        return ExperimentResult(
+            Counts(
+                {k: int(v) for k, v in payload["counts"].items()}
+            ),
+            int(payload["duration"]),
+            metadata=_decode_metadata(payload["metadata"], arrays),
+        )
+
+    def put(self, key: str, experiment: ExperimentResult) -> Path:
+        """Atomically persist one result under ``key``."""
+        json_path, npz_path = self._paths(key)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        plain, arrays = _encode_metadata(experiment.metadata)
+        if arrays:
+            buffer = io.BytesIO()
+            np.savez(buffer, **arrays)
+            self._atomic_write(npz_path, buffer.getvalue())
+        payload = {
+            "format": _FORMAT,
+            "counts": {
+                k: int(v) for k, v in experiment.counts.items()
+            },
+            "duration": int(experiment.duration),
+            "metadata": plain,
+            "has_arrays": bool(arrays),
+        }
+        self._atomic_write(
+            json_path, (json.dumps(payload) + "\n").encode("utf-8")
+        )
+        return json_path
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}."
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for json_path in list(self.root.glob("??/*.json")):
+            json_path.unlink()
+            removed += 1
+        for npz_path in list(self.root.glob("??/*.npz")):
+            npz_path.unlink()
+        return removed
+
+    def stats(self) -> dict:
+        return {
+            "root": str(self.root),
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r}, {len(self)} entries)"

@@ -26,6 +26,7 @@ from repro.utils.linalg import (
 )
 from repro.utils.cache import (
     LRUCache,
+    cache_stats_totals,
     caching_disabled,
     clear_object_caches,
     device_cache,
@@ -57,6 +58,7 @@ __all__ = [
     "as_generator",
     "derive_seed",
     "LRUCache",
+    "cache_stats_totals",
     "caching_disabled",
     "clear_object_caches",
     "device_cache",

@@ -37,6 +37,7 @@ __all__ = [
     "LRUCache",
     "UnhashableKey",
     "cache_key",
+    "cache_stats_totals",
     "caching_disabled",
     "clear_object_caches",
     "device_cache",
@@ -144,6 +145,20 @@ def global_cache_stats() -> list[dict]:
     for ref in dead:
         LRUCache._registry.remove(ref)
     return sorted(live, key=lambda s: -(s["hits"] + s["misses"]))
+
+
+def cache_stats_totals() -> dict:
+    """Hit/miss totals summed over every live cache.
+
+    The uniform shape the execution service reports per worker:
+    ``{"hits": int, "misses": int, "caches": int}``.
+    """
+    stats = global_cache_stats()
+    return {
+        "hits": sum(s["hits"] for s in stats),
+        "misses": sum(s["misses"] for s in stats),
+        "caches": len(stats),
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,489 @@
+"""Tests for the sharded execution service (src/repro/service/).
+
+The load-bearing guarantee is *determinism under sharding*: for fixed
+seeds, ``jobs=1`` and ``jobs=N`` must produce byte-identical counts and
+energies.  Multi-process tests carry the ``slow`` marker (registered in
+pytest.ini) but use quick configs so the whole module stays well under
+30 s — tier-1 (`pytest -x -q`) runs everything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import FakeGuadalupe
+from repro.backends.result import Counts, ExperimentResult
+from repro.core import (
+    ExecutionPipeline,
+    GateLevelModel,
+    HybridGatePulseModel,
+    binary_search_mixer_duration,
+    train_model,
+)
+from repro.exceptions import BackendError
+from repro.problems import MaxCutProblem, benchmark_graph
+from repro.service import (
+    CircuitJob,
+    ExecutionService,
+    ResultStore,
+    SweepJob,
+    backend_config_digest,
+    derive_job_seeds,
+    job_fingerprint,
+    plan_shards,
+)
+from repro.utils.cache import cache_stats_totals
+from repro.utils.rng import derive_seed
+from repro.vqa import ExpectedCutCost
+from repro.vqa.optimizers import SPSA
+
+SHOTS = 128
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return FakeGuadalupe()
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return MaxCutProblem(benchmark_graph(1))
+
+
+@pytest.fixture(scope="module")
+def sweep_circuits(backend, problem):
+    """Six routed hybrid-QAOA circuits (pulse gates exercise the
+    unitary-provider path through pickling)."""
+    model = HybridGatePulseModel(problem, backend.device)
+    base = model.initial_point(3)
+    pipeline = ExecutionPipeline(
+        backend=backend, cost=ExpectedCutCost(problem), shots=SHOTS
+    )
+    return [
+        pipeline.prepare(
+            model.build_circuit(np.concatenate([[gamma], base[1:]]))
+        )
+        for gamma in np.linspace(0.3, 1.5, 6)
+    ]
+
+
+def counts_of(experiments):
+    return [dict(e.counts) for e in experiments]
+
+
+# ---------------------------------------------------------------------------
+# shard planner
+# ---------------------------------------------------------------------------
+
+class TestShardPlanner:
+    def test_covers_all_indices_contiguously(self):
+        shards = plan_shards(23, 4, shards_per_worker=3)
+        flat = [idx for shard in shards for idx in shard]
+        assert flat == list(range(23))
+        assert all(shard == sorted(shard) for shard in shards)
+
+    def test_balanced_sizes(self):
+        shards = plan_shards(10, 2, shards_per_worker=2)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 10
+
+    def test_oversubscription_for_work_stealing(self):
+        # more shards than workers so fast workers can steal
+        shards = plan_shards(100, 4, shards_per_worker=4)
+        assert 4 < len(shards) <= 16
+
+    def test_never_more_shards_than_jobs(self):
+        assert len(plan_shards(3, 8)) == 3
+
+    def test_min_shard_size(self):
+        shards = plan_shards(100, 4, shards_per_worker=8, min_shard_size=10)
+        assert all(len(s) >= 10 for s in shards)
+
+    def test_empty_and_invalid(self):
+        assert plan_shards(0, 4) == []
+        with pytest.raises(BackendError):
+            plan_shards(4, 0)
+
+
+# ---------------------------------------------------------------------------
+# job specs and seed derivation
+# ---------------------------------------------------------------------------
+
+class TestJobSeeds:
+    def test_sweep_seed_derivation_rule(self, sweep_circuits):
+        sweep = SweepJob(sweep_circuits, shots=SHOTS, seed=17)
+        expected = [
+            derive_seed(17, "job", i) for i in range(len(sweep_circuits))
+        ]
+        assert sweep.resolved_seeds() == expected
+        assert derive_job_seeds(17, len(sweep_circuits)) == expected
+        assert [job.seed for job in sweep.jobs()] == expected
+
+    def test_explicit_seeds_override(self, sweep_circuits):
+        seeds = list(range(100, 100 + len(sweep_circuits)))
+        sweep = SweepJob(sweep_circuits, shots=SHOTS, seeds=seeds)
+        assert [job.seed for job in sweep.jobs()] == seeds
+
+    def test_unseeded_stays_unseeded(self, sweep_circuits):
+        sweep = SweepJob(sweep_circuits, shots=SHOTS)
+        assert sweep.resolved_seeds() == [None] * len(sweep_circuits)
+
+    def test_seed_count_mismatch(self, sweep_circuits):
+        with pytest.raises(BackendError):
+            SweepJob(sweep_circuits, seeds=[1]).resolved_seeds()
+
+    def test_shots_must_be_positive(self, sweep_circuits):
+        with pytest.raises(BackendError):
+            CircuitJob(sweep_circuits[0], shots=0)
+
+
+class TestFingerprint:
+    def test_stable_and_sensitive(self, sweep_circuits):
+        job = CircuitJob(sweep_circuits[0], shots=SHOTS, seed=3)
+        key = job_fingerprint(job, "ibmq_guadalupe")
+        assert key == job_fingerprint(job, "ibmq_guadalupe")
+        assert len(key) == 64
+        # every content dimension moves the hash
+        others = [
+            CircuitJob(sweep_circuits[1], shots=SHOTS, seed=3),
+            CircuitJob(sweep_circuits[0], shots=SHOTS + 1, seed=3),
+            CircuitJob(sweep_circuits[0], shots=SHOTS, seed=4),
+            CircuitJob(
+                sweep_circuits[0], shots=SHOTS, seed=3, with_noise=False
+            ),
+        ]
+        for other in others:
+            assert job_fingerprint(other, "ibmq_guadalupe") != key
+        assert job_fingerprint(job, "ibmq_toronto") != key
+
+    def test_unseeded_is_not_storable(self, sweep_circuits):
+        job = CircuitJob(sweep_circuits[0], shots=SHOTS, seed=None)
+        assert job_fingerprint(job, "ibmq_guadalupe") is None
+
+    def test_parameterized_circuit_is_not_storable(self, problem):
+        from repro.circuits import Parameter, QuantumCircuit
+
+        circuit = QuantumCircuit(1)
+        circuit.rx(Parameter("theta"), 0)
+        job = CircuitJob(circuit, shots=SHOTS, seed=1)
+        assert job_fingerprint(job, "ibmq_guadalupe") is None
+
+    def test_config_digest_separates_modified_backends(self):
+        stock = FakeGuadalupe()
+        modified = FakeGuadalupe()
+        modified.noise_model.pulse_jitter_local = 0.5
+        assert backend_config_digest(stock) == backend_config_digest(
+            FakeGuadalupe()
+        )
+        assert backend_config_digest(stock) != backend_config_digest(
+            modified
+        )
+
+    def test_config_digest_ignores_warmed_caches(
+        self, backend, sweep_circuits
+    ):
+        fresh = FakeGuadalupe()
+        # `backend` has executed many sweeps this module; its caches are
+        # warm but its physics configuration is stock
+        assert backend_config_digest(backend) == backend_config_digest(
+            fresh
+        )
+
+
+# ---------------------------------------------------------------------------
+# result store
+# ---------------------------------------------------------------------------
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        experiment = ExperimentResult(
+            Counts({"00": 70, "11": 58}),
+            duration=4512,
+            metadata={
+                "active_qubits": [0, 1, 4],
+                "measured_qubits": [0, 1],
+                "clbit_to_qubit": {0: 0, 1: 1},
+                "weights": np.linspace(0.0, 1.0, 5),
+            },
+        )
+        key = "ab" + "0" * 62
+        store.put(key, experiment)
+        assert key in store
+        loaded = store.get(key)
+        assert dict(loaded.counts) == {"00": 70, "11": 58}
+        assert loaded.duration == 4512
+        assert loaded.metadata["active_qubits"] == [0, 1, 4]
+        assert loaded.metadata["clbit_to_qubit"] == {0: 0, 1: 1}
+        np.testing.assert_array_equal(
+            loaded.metadata["weights"], np.linspace(0.0, 1.0, 5)
+        )
+        assert store.stats()["entries"] == 1
+
+    def test_miss_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.get("cd" + "0" * 62) is None
+        store.put(
+            "ef" + "0" * 62,
+            ExperimentResult(Counts({"0": SHOTS}), 100),
+        )
+        assert len(store) == 1
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(BackendError):
+            store.get("../escape")
+
+    def test_float_metadata_survives_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = "aa" + "1" * 62
+        store.put(
+            key,
+            ExperimentResult(
+                Counts({"0": SHOTS}),
+                100,
+                metadata={"angles": [0.98, 1.02], "scale": 0.5},
+            ),
+        )
+        loaded = store.get(key)
+        assert loaded.metadata["angles"] == [0.98, 1.02]
+        assert loaded.metadata["scale"] == 0.5
+
+    def test_unstorable_metadata_raises_backend_error(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(BackendError):
+            store.put(
+                "bb" + "1" * 62,
+                ExperimentResult(
+                    Counts({"0": SHOTS}),
+                    100,
+                    metadata={"bad": [object()]},
+                ),
+            )
+
+    def test_served_from_disk_not_recomputed(
+        self, tmp_path, backend, sweep_circuits
+    ):
+        store = ResultStore(tmp_path / "store")
+        with ExecutionService(backend, jobs=1, store=store) as service:
+            sweep = SweepJob(sweep_circuits[:3], shots=SHOTS, seed=5)
+            first = service.map(sweep)
+            ran_after_first = service.stats()["jobs_run"]
+            second = service.map(SweepJob(sweep_circuits[:3], shots=SHOTS, seed=5))
+            assert service.stats()["jobs_run"] == ran_after_first
+            assert service.stats()["store_hits"] == 3
+        assert counts_of(first) == counts_of(second)
+
+
+# ---------------------------------------------------------------------------
+# determinism under sharding (the acceptance-critical guarantee)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+class TestShardingDeterminism:
+    def test_counts_identical_jobs1_vs_jobs4(
+        self, backend, sweep_circuits
+    ):
+        seeds = list(range(len(sweep_circuits)))
+        serial = backend.run(sweep_circuits, shots=SHOTS, seeds=seeds)
+        sharded = backend.run(
+            sweep_circuits, shots=SHOTS, seeds=seeds, jobs=4
+        )
+        assert counts_of(serial.experiments) == counts_of(
+            sharded.experiments
+        )
+        durations = [e.duration for e in serial.experiments]
+        assert [e.duration for e in sharded.experiments] == durations
+        meta = sharded.metadata["service"]
+        assert meta["jobs"] == len(sweep_circuits)
+        assert meta["workers"] == 4
+        assert meta["per_worker"]  # at least one worker reported stats
+        for totals in meta["per_worker"].values():
+            assert {"hits", "misses", "caches"} <= set(totals)
+        backend.close_services()
+
+    def test_modified_backend_identical_across_jobs(self):
+        # in-place customizations must survive the process boundary:
+        # workers receive a pickle of the live backend, never a stock
+        # rebuild by name
+        modified = FakeGuadalupe()
+        modified.noise_model.pulse_jitter_local = 0.08
+        problem = MaxCutProblem(benchmark_graph(1))
+        model = HybridGatePulseModel(problem, modified.device)
+        base = model.initial_point(3)
+        pipeline = ExecutionPipeline(
+            backend=modified,
+            cost=ExpectedCutCost(problem),
+            shots=SHOTS,
+        )
+        circuits = [
+            pipeline.prepare(
+                model.build_circuit(np.concatenate([[g], base[1:]]))
+            )
+            for g in np.linspace(0.4, 1.0, 4)
+        ]
+        seeds = list(range(4))
+        serial = modified.run(circuits, shots=SHOTS, seeds=seeds)
+        sharded = modified.run(
+            circuits, shots=SHOTS, seeds=seeds, jobs=2
+        )
+        assert counts_of(serial.experiments) == counts_of(
+            sharded.experiments
+        )
+        modified.close_services()
+
+    def test_energies_identical_through_pipeline(
+        self, backend, problem
+    ):
+        model = GateLevelModel(problem)
+        base = model.initial_point(5)
+        circuits = [
+            model.build_circuit(
+                np.concatenate([[gamma], base[1:]])
+            )
+            for gamma in np.linspace(0.2, 1.2, 6)
+        ]
+        seeds = [derive_seed(9, "sweep", i) for i in range(6)]
+
+        def run(jobs):
+            pipeline = ExecutionPipeline(
+                backend=backend,
+                cost=ExpectedCutCost(problem),
+                shots=SHOTS,
+                jobs=jobs,
+            )
+            return pipeline.evaluate_many(circuits, seeds=seeds)
+
+        serial = run(1)
+        sharded = run(4)
+        assert [v for v, _ in serial] == [v for v, _ in sharded]
+        assert [i["raw_counts"] for _, i in serial] == [
+            i["raw_counts"] for _, i in sharded
+        ]
+        backend.close_services()
+
+    def test_spsa_training_identical_across_jobs(
+        self, backend, problem
+    ):
+        def train(jobs):
+            pipeline = ExecutionPipeline(
+                backend=backend,
+                cost=ExpectedCutCost(problem),
+                shots=SHOTS,
+                jobs=jobs,
+            )
+            return train_model(
+                GateLevelModel(problem),
+                pipeline,
+                SPSA(maxiter=3, seed=11),
+                seed=23,
+            )
+
+        serial = train(1)
+        sharded = train(2)
+        assert serial.best_value == sharded.best_value
+        np.testing.assert_array_equal(
+            serial.best_parameters, sharded.best_parameters
+        )
+        assert serial.trace.values == sharded.trace.values
+        backend.close_services()
+
+    def test_duration_search_identical_across_jobs(
+        self, backend, problem
+    ):
+        model = HybridGatePulseModel(problem, backend.device)
+        parameters = np.asarray(model.initial_point(4), dtype=float)
+        pipeline = ExecutionPipeline(
+            backend=backend,
+            cost=ExpectedCutCost(problem),
+            shots=SHOTS,
+        )
+        serial = binary_search_mixer_duration(
+            model, pipeline, parameters, seed=31
+        )
+        sharded = binary_search_mixer_duration(
+            model, pipeline, parameters, seed=31, jobs=3
+        )
+        assert serial.duration == sharded.duration
+        assert serial.evaluations == sharded.evaluations
+        assert serial.infeasible == sharded.infeasible
+        backend.close_services()
+
+
+# ---------------------------------------------------------------------------
+# futures API: submit / as_completed / backpressure / shutdown
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+class TestFuturesAPI:
+    def test_submit_and_as_completed(self, backend, sweep_circuits):
+        sweep = SweepJob(sweep_circuits, shots=SHOTS, seed=13)
+        with ExecutionService(backend, jobs=2) as service:
+            futures = [service.submit(job) for job in sweep.jobs()]
+            done = list(service.as_completed(futures, timeout=60))
+            assert set(done) == set(futures)
+            ordered = [f.result() for f in futures]
+        reference = backend.run(
+            sweep_circuits, shots=SHOTS, seeds=sweep.resolved_seeds()
+        )
+        assert counts_of(ordered) == counts_of(reference.experiments)
+
+    def test_backpressure_bounds_in_flight_jobs(
+        self, backend, sweep_circuits
+    ):
+        with ExecutionService(
+            backend, jobs=2, max_pending=2
+        ) as service:
+            futures = [
+                service.submit(job)
+                for job in SweepJob(
+                    sweep_circuits, shots=SHOTS, seed=3
+                ).jobs()
+            ]
+            results = [f.result() for f in futures]
+        assert len(results) == len(sweep_circuits)
+        assert service.stats()["max_pending_seen"] <= 2
+        assert service.stats()["pending"] == 0
+
+    def test_map_respects_backpressure_bound(
+        self, backend, sweep_circuits
+    ):
+        with ExecutionService(
+            backend, jobs=2, max_pending=2
+        ) as service:
+            service.map(SweepJob(sweep_circuits, shots=SHOTS, seed=3))
+            assert service.stats()["max_pending_seen"] <= 2
+
+    def test_shutdown_rejects_new_work(self, backend, sweep_circuits):
+        service = ExecutionService(backend, jobs=2)
+        service.shutdown()
+        with pytest.raises(BackendError):
+            service.submit(
+                CircuitJob(sweep_circuits[0], shots=SHOTS, seed=1)
+            )
+
+    def test_inline_fallback_matches_pool(
+        self, backend, sweep_circuits
+    ):
+        sweep = SweepJob(sweep_circuits[:3], shots=SHOTS, seed=29)
+        with ExecutionService(backend, jobs=1) as inline:
+            inline_results = inline.map(sweep)
+            # inline mode reports the in-process cache totals uniformly
+            assert "inline" in inline.stats()["per_worker"]
+        with ExecutionService(backend, jobs=2) as pooled:
+            pooled_results = pooled.map(
+                SweepJob(sweep_circuits[:3], shots=SHOTS, seed=29)
+            )
+        assert counts_of(inline_results) == counts_of(pooled_results)
+
+
+# ---------------------------------------------------------------------------
+# cache statistics plumbing
+# ---------------------------------------------------------------------------
+
+def test_cache_stats_totals_shape():
+    totals = cache_stats_totals()
+    assert set(totals) == {"hits", "misses", "caches"}
+    assert totals["hits"] >= 0 and totals["misses"] >= 0
