@@ -1,13 +1,16 @@
 """Microbenchmarks for the execution-engine performance layer.
 
-Times the four hot paths this layer rebuilt — gate application,
-marginalization, pulse-propagator caching, and the batched sweep API —
-against the seed behaviour, and emits ``BENCH_engine.json`` at the repo
-root so later PRs can track the perf trajectory::
+Times the hot paths the perf layers rebuilt — gate application,
+marginalization, pulse-propagator caching, the batched sweep API, and
+the trajectory-vs-density method dispatch — against the seed behaviour,
+and emits ``BENCH_engine.json`` at the repo root so later PRs can track
+the perf trajectory::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_engine.py -q -s
     # or standalone:
     PYTHONPATH=src python benchmarks/bench_engine.py
+    # CI quick mode (subset, does not overwrite BENCH_engine.json):
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke
 
 Baselines: the kernel benchmarks (gate apply, marginalize, kraus) time
 inline replicas of the seed implementations.  The caching/batch
@@ -15,7 +18,13 @@ benchmarks time the live code under
 :func:`repro.utils.cache.caching_disabled`, which reproduces the seed's
 cache-free behaviour but still benefits from the new kernels — i.e. the
 reported speedups are *lower bounds* on the true improvement over the
-seed.
+seed.  The trajectory benchmarks time the density-matrix back-end (the
+seed's only noisy path) against the trajectory back-end on the same
+circuits and seeds.
+
+Every entry records the simulation ``method`` it exercises, and the
+JSON carries a ``schema`` block so the perf trajectory stays comparable
+across PRs.
 
 The sharding layer above this engine has its own companion suite:
 ``benchmarks/bench_service.py`` emits ``BENCH_service.json`` with the
@@ -31,6 +40,7 @@ import numpy as np
 
 from repro.backends import FakeGuadalupe, execute_circuit, execute_circuits
 from repro.core import HybridGatePulseModel
+from repro.exceptions import BackendError
 from repro.problems import MaxCutProblem, benchmark_graph
 from repro.pulse.channels import DriveChannel
 from repro.pulse.instructions import Play
@@ -38,12 +48,16 @@ from repro.pulse.schedule import Schedule
 from repro.pulse.waveforms import Gaussian
 from repro.pulsesim.calibration import calibrate_rotation
 from repro.pulsesim.solver import drive_channel_propagator
+from repro.circuits import QuantumCircuit
 from repro.simulators.density_matrix import DensityMatrix
 from repro.utils.cache import caching_disabled
 from repro.utils.linalg import apply_matrix_to_qubits
 from repro.utils.kernels import marginalize
 
-RESULTS: dict[str, dict] = {}
+#: bump when entry shapes change so downstream tooling can tell
+SCHEMA = {"name": "bench_engine", "version": 2}
+
+RESULTS: dict[str, dict] = {"schema": dict(SCHEMA)}
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
@@ -58,11 +72,12 @@ def _best_of(fn, repeats=5, number=1):
     return best
 
 
-def _record(name, seed_s, new_s, note=""):
+def _record(name, seed_s, new_s, note="", method="density_matrix"):
     RESULTS[name] = {
         "seed_path_ms": round(seed_s * 1e3, 4),
         "new_path_ms": round(new_s * 1e3, 4),
         "speedup": round(seed_s / new_s, 2),
+        "method": method,
         "note": note,
     }
     print(
@@ -153,7 +168,7 @@ def test_bench_gate_apply():
     seed = _best_of(
         lambda: _seed_apply_matrix(matrix, state, qubits, n), number=200
     )
-    row = _record("gate_apply_2q_10q_state", seed, new)
+    row = _record("gate_apply_2q_10q_state", seed, new, method="statevector")
     _flush()
     assert row["speedup"] > 1.0
 
@@ -194,7 +209,7 @@ def test_bench_marginalize():
     seed = _best_of(
         lambda: _seed_marginalize(probs, positions, n), number=5
     )
-    row = _record("marginalize_12q_to_6", seed, new)
+    row = _record("marginalize_12q_to_6", seed, new, method="shared")
     _flush()
     assert row["speedup"] > 5.0
 
@@ -222,6 +237,7 @@ def test_bench_cached_pulse_propagator():
         "cached_pulse_propagator_320dt", seed, new,
         "cache hit vs full 320-sample SU(2) composition (seed recomputed "
         "every evaluation)",
+        method="shared",
     )
     _flush()
     assert row["speedup"] >= 5.0
@@ -244,6 +260,7 @@ def test_bench_cached_calibration():
     row = _record(
         "cached_calibrate_rotation", seed, new,
         "cache hit vs full amplitude root-solve",
+        method="shared",
     )
     _flush()
     assert row["speedup"] >= 5.0
@@ -296,13 +313,155 @@ def test_bench_batched_sweep():
     assert row["speedup"] >= 5.0
 
 
-def main():
+# ---------------------------------------------------------------------------
+# simulation-method dispatch (trajectory vs density matrix)
+# ---------------------------------------------------------------------------
+
+def _noisy_sweep_circuit(n, theta):
+    """A depth-4 entangling sweep point on ``n`` line qubits."""
+    qc = QuantumCircuit(n, n)
+    for i in range(n):
+        qc.sx(i)
+    for i in range(n - 1):
+        qc.cx(i, i + 1)
+    for i in range(n):
+        qc.rz(theta * (i + 1), i)
+    for i in range(n - 1):
+        qc.cx(i, i + 1)
+    for i in range(n):
+        qc.measure(i, i)
+    return qc
+
+
+def test_bench_trajectory_vs_density_10q_sweep():
+    """The headline dispatch win: a 10-qubit noisy sweep.
+
+    The seed engine's only noisy path is the 4^n density matrix; the
+    trajectory back-end samples the same noise at 2^n per trajectory.
+    Same circuits, same shots, fixed seeds.
+    """
+    backend = FakeGuadalupe()
+    circuits = [
+        _noisy_sweep_circuit(10, theta)
+        for theta in np.linspace(0.2, 1.0, 3)
+    ]
+    seeds = list(range(3))
+
+    def density():
+        return execute_circuits(
+            circuits,
+            backend.target,
+            noise_model=backend.noise_model,
+            shots=256,
+            seeds=seeds,
+            method="density_matrix",
+        )
+
+    def trajectory():
+        return execute_circuits(
+            circuits,
+            backend.target,
+            noise_model=backend.noise_model,
+            shots=256,
+            seeds=seeds,
+            method="trajectory",
+            trajectories=32,
+        )
+
+    new = _best_of(trajectory, repeats=3, number=1)
+    seed = _best_of(density, repeats=2, number=1)
+    row = _record(
+        "trajectory_vs_density_10q_noisy_sweep", seed, new,
+        "3-point noisy sweep on 10 line qubits, 256 shots, 32 "
+        "trajectories; identical noise model and seeds",
+        method="trajectory_vs_density_matrix",
+    )
+    _flush()
+    assert row["speedup"] >= 5.0
+
+
+def test_bench_trajectory_16q_beyond_density_wall():
+    _run_trajectory_16q(trajectories=16)
+
+
+def _run_trajectory_16q(trajectories):
+    """A 16-qubit noisy run the seed path refuses outright."""
+    backend = FakeGuadalupe()
+    circuit = _noisy_sweep_circuit(16, 0.4)
+    refused = False
+    try:
+        execute_circuit(
+            circuit,
+            backend.target,
+            backend.noise_model,
+            shots=1,
+            seed=0,
+            method="density_matrix",
+        )
+    except BackendError:
+        refused = True
+    assert refused, "density matrix unexpectedly fit 16 qubits"
+
+    t0 = time.perf_counter()
+    result = execute_circuit(
+        circuit,
+        backend.target,
+        backend.noise_model,
+        shots=256,
+        seed=0,
+        method="trajectory",
+        trajectories=trajectories,
+    )
+    wall = time.perf_counter() - t0
+    assert sum(result.counts.values()) == 256
+    assert result.metadata["method"] == "trajectory"
+    RESULTS["trajectory_16q_beyond_density_wall"] = {
+        "density_matrix_refused": refused,
+        "trajectory_wall_ms": round(wall * 1e3, 2),
+        "shots": 256,
+        "trajectories": trajectories,
+        "method": "trajectory",
+        "note": "16 active qubits: past the 14-qubit density-matrix "
+        "budget; trajectory runs it at 2^16 per trajectory",
+    }
+    _flush()
+    print(
+        f"trajectory_16q_beyond_density_wall: density refused, "
+        f"trajectory {wall * 1e3:.1f} ms"
+    )
+
+
+def main(argv=None):
+    import argparse
+
+    global OUTPUT
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI quick mode: kernel + dispatch subset with relaxed "
+        "budgets; writes to a scratch file instead of BENCH_engine.json",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        import tempfile
+
+        # a partial run must never clobber the tracked perf trajectory
+        OUTPUT = Path(tempfile.gettempdir()) / "BENCH_engine.smoke.json"
+        test_bench_gate_apply()
+        test_bench_kraus_channel()
+        test_bench_marginalize()
+        _run_trajectory_16q(trajectories=4)
+        print(f"smoke ok; scratch results in {OUTPUT}")
+        return
     test_bench_gate_apply()
     test_bench_kraus_channel()
     test_bench_marginalize()
     test_bench_cached_pulse_propagator()
     test_bench_cached_calibration()
     test_bench_batched_sweep()
+    test_bench_trajectory_vs_density_10q_sweep()
+    test_bench_trajectory_16q_beyond_density_wall()
     print(f"wrote {OUTPUT}")
 
 

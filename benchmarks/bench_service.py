@@ -27,12 +27,16 @@ from pathlib import Path
 import numpy as np
 
 from repro.backends import FakeGuadalupe
+from repro.circuits import QuantumCircuit
 from repro.core import ExecutionPipeline, HybridGatePulseModel
 from repro.problems import MaxCutProblem, benchmark_graph
 from repro.service import ExecutionService, ResultStore, SweepJob
 from repro.vqa import ExpectedCutCost
 
-RESULTS: dict = {}
+#: bump when entry shapes change so downstream tooling can tell
+SCHEMA = {"name": "bench_service", "version": 2}
+
+RESULTS: dict = {"schema": dict(SCHEMA)}
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
 SHOTS = 256
@@ -121,6 +125,7 @@ def test_bench_worker_scaling():
         )
     RESULTS["worker_scaling_fig4_quick_sweep"] = {
         **curve,
+        "method": "auto (resolves to density_matrix)",
         "note": (
             "same seeds, byte-identical counts at every worker count; "
             "speedup ceiling is min(workers, cpu_count)"
@@ -166,6 +171,7 @@ def test_bench_store_replay(tmp_path=None):
         "cold_ms": round(cold_seconds * 1e3, 2),
         "replay_ms": round(replay_seconds * 1e3, 2),
         "speedup": round(speedup, 2),
+        "method": "auto (resolves to density_matrix)",
         "note": "repeated deterministic sweeps served from disk",
     }
     _flush()
@@ -176,9 +182,74 @@ def test_bench_store_replay(tmp_path=None):
     assert speedup >= 2.0
 
 
+def test_bench_trajectory_fanout():
+    """A single 12-qubit trajectory job fanned out as slice sub-jobs.
+
+    Counts are asserted byte-identical between ``jobs=1`` and
+    ``jobs=4`` on every machine; the wall-clock curve is recorded so
+    multi-core CI tracks the fan-out speedup (bounded by cpu_count,
+    like the worker-scaling benchmark).
+    """
+    n = 12
+    trajectories = 32
+    circuit = QuantumCircuit(n, n)
+    circuit.h(0)
+    for i in range(n - 1):
+        circuit.cx(i, i + 1)
+    for i in range(n):
+        circuit.measure(i, i)
+
+    inline_backend = FakeGuadalupe()
+    inline_seconds, inline_result = _best_of(
+        lambda: inline_backend.run(
+            circuit, shots=SHOTS, seed=SWEEP_SEED,
+            method="trajectory", trajectories=trajectories,
+        )
+    )
+    fanout_backend = FakeGuadalupe()
+    try:
+        fanout_backend.run(  # warm the pool
+            circuit, shots=SHOTS, seed=SWEEP_SEED,
+            method="trajectory", trajectories=trajectories, jobs=4,
+        )
+        fanout_seconds, fanout_result = _best_of(
+            lambda: fanout_backend.run(
+                circuit, shots=SHOTS, seed=SWEEP_SEED,
+                method="trajectory", trajectories=trajectories, jobs=4,
+            )
+        )
+    finally:
+        fanout_backend.close_services()
+    assert dict(fanout_result.get_counts()) == dict(
+        inline_result.get_counts()
+    ), "trajectory fan-out counts diverged from jobs=1"
+    subjobs = fanout_result.metadata["service"]["trajectory_subjobs"]
+    assert subjobs >= 2
+    RESULTS["trajectory_fanout_12q"] = {
+        "jobs1_wall_ms": round(inline_seconds * 1e3, 2),
+        "jobs4_wall_ms": round(fanout_seconds * 1e3, 2),
+        "speedup_vs_jobs1": round(inline_seconds / fanout_seconds, 2),
+        "trajectory_subjobs": subjobs,
+        "trajectories": trajectories,
+        "method": "trajectory",
+        "note": (
+            "single 12-qubit noisy circuit split into trajectory-slice "
+            "sub-jobs; byte-identical counts at any worker count, "
+            "speedup ceiling is min(workers, cpu_count)"
+        ),
+    }
+    _flush()
+    print(
+        f"trajectory fan-out 12q: jobs=1 {inline_seconds * 1e3:.1f} ms "
+        f"-> jobs=4 {fanout_seconds * 1e3:.1f} ms "
+        f"({inline_seconds / fanout_seconds:.2f}x, {subjobs} sub-jobs)"
+    )
+
+
 def main():
     test_bench_worker_scaling()
     test_bench_store_replay()
+    test_bench_trajectory_fanout()
     print(f"wrote {OUTPUT}")
 
 

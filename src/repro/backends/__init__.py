@@ -2,7 +2,15 @@
 
 from repro.backends.target import QubitProperties, Target
 from repro.backends.result import Counts, Result
-from repro.backends.engine import execute_circuit, execute_circuits
+from repro.backends.engine import (
+    METHODS,
+    execute_circuit,
+    execute_circuits,
+    merge_trajectory_results,
+    method_qubit_budget,
+    select_method,
+    set_method_qubit_budget,
+)
 from repro.backends.backend import SimulatedBackend
 from repro.backends.fake import (
     FakeAuckland,
@@ -17,8 +25,13 @@ __all__ = [
     "Target",
     "Counts",
     "Result",
+    "METHODS",
     "execute_circuit",
     "execute_circuits",
+    "merge_trajectory_results",
+    "method_qubit_budget",
+    "select_method",
+    "set_method_qubit_budget",
     "SimulatedBackend",
     "FakeAuckland",
     "FakeGuadalupe",

@@ -21,7 +21,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.backends.engine import execute_circuits
+from repro.backends.engine import execute_circuits, select_method
 from repro.backends.result import Result
 from repro.backends.target import Target
 from repro.circuits.circuit import QuantumCircuit
@@ -87,6 +87,9 @@ class SimulatedBackend:
         with_readout_error: bool = True,
         seeds: Sequence[int | None] | None = None,
         jobs: int = 1,
+        method: str = "auto",
+        trajectories: int | None = None,
+        trajectory_slice: tuple[int, int] | None = None,
     ) -> Result:
         """Execute one or more circuits and return sampled counts.
 
@@ -97,10 +100,19 @@ class SimulatedBackend:
         circuit); by default they derive from ``seed`` exactly as the
         historical per-circuit loop did.
 
+        ``method`` picks the simulation back-end per circuit
+        (``"auto"`` — the default — resolves via
+        :func:`~repro.backends.engine.select_method`);
+        ``trajectories`` / ``trajectory_slice`` configure the
+        trajectory back-end.
+
         ``jobs > 1`` shards the batch across the backend's persistent
-        :class:`~repro.service.futures.ExecutionService` worker pool.
-        Per-circuit seeds are resolved *before* sharding, so
-        ``jobs=N`` returns byte-identical counts to ``jobs=1``.
+        :class:`~repro.service.futures.ExecutionService` worker pool —
+        including a *single* trajectory-method circuit, whose
+        trajectory range fans out as sub-jobs.  Per-circuit seeds are
+        resolved *before* sharding and per-trajectory RNG derives from
+        them, so ``jobs=N`` returns byte-identical counts to
+        ``jobs=1``.
         """
         if isinstance(circuits, QuantumCircuit):
             circuits = [circuits]
@@ -109,7 +121,19 @@ class SimulatedBackend:
                 derive_seed(seed, "run", index) if seed is not None else None
                 for index in range(len(circuits))
             ]
-        if jobs > 1 and len(circuits) > 1:
+        if jobs > 1 and trajectory_slice is None and (
+            len(circuits) > 1
+            or (
+                circuits
+                and select_method(
+                    circuits[0],
+                    self.target,
+                    self.noise_model if with_noise else None,
+                    method,
+                )
+                == "trajectory"
+            )
+        ):
             service = self.execution_service(jobs)
             experiments, meta = service.run_batch(
                 circuits,
@@ -117,6 +141,8 @@ class SimulatedBackend:
                 seeds=seeds,
                 with_noise=with_noise,
                 with_readout_error=with_readout_error,
+                method=method,
+                trajectories=trajectories,
             )
             return Result(
                 experiments,
@@ -132,6 +158,9 @@ class SimulatedBackend:
             seeds=seeds,
             unitary_provider=self.pulse_unitary,
             with_readout_error=with_readout_error,
+            method=method,
+            trajectories=trajectories,
+            trajectory_slice=trajectory_slice,
         )
         return Result(experiments, backend_name=self.name, shots=shots)
 

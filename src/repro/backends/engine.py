@@ -1,4 +1,4 @@
-"""Noisy circuit execution on a density-matrix simulator.
+"""Noisy circuit execution with automatic simulation-method dispatch.
 
 The engine uses a synchronous **moment** model: instructions are grouped
 into ASAP layers; after each layer's unitaries (and their gate-error
@@ -8,8 +8,28 @@ always-on ZZ crosstalk of coupled pairs.  Measurement applies readout
 relaxation for (a fraction of) the readout window, then the per-qubit
 assignment-error transform, then multinomial shot sampling.
 
-Only the qubits the circuit actually touches enter the density matrix, so
+Only the qubits the circuit actually touches enter the simulation, so
 27-qubit devices cost no more than the 6-8 qubits a benchmark uses.
+
+Three back-ends share that front-end, selected by ``method=``:
+
+* ``"density_matrix"`` — exact mixed-state evolution, ``4**n`` memory;
+  the default for noisy circuits within its qubit budget;
+* ``"statevector"`` — pure-state evolution, ``2**n`` memory; exact for
+  circuits whose noise never touches the state (readout assignment
+  error is classical and still applied);
+* ``"trajectory"`` — Monte Carlo stochastic-wavefunction sampling
+  (:mod:`repro.simulators.trajectory`): ``2**n`` per trajectory,
+  embarrassingly parallel, statistically equivalent for Kraus/stochastic
+  noise — the path past the density-matrix wall;
+* ``"auto"`` (default) picks the cheapest of the three that is exact or
+  statistically equivalent for the circuit's noise content
+  (:func:`select_method`).
+
+Per-method active-qubit budgets are configurable
+(:func:`set_method_qubit_budget`); exceeding one raises a
+:class:`~repro.exceptions.BackendError` that names the method in use
+and the escape hatch.
 """
 
 from __future__ import annotations
@@ -26,11 +46,100 @@ from repro.circuits.gates import Barrier, Delay, Instruction, Measure, PulseGate
 from repro.exceptions import BackendError
 from repro.noise.model import NoiseModel
 from repro.simulators.density_matrix import DensityMatrix
+from repro.simulators.statevector import Statevector
+from repro.simulators.trajectory import (
+    TrajectoryProgram,
+    run_trajectories,
+    sample_jitter_kicks,
+)
 from repro.utils.bitstrings import index_to_bitstring
 from repro.utils.kernels import marginalize
 from repro.utils.rng import as_generator, derive_seed
 
 UnitaryProvider = Callable[[Instruction, tuple[int, ...]], np.ndarray]
+
+#: user-facing method names (``"auto"`` resolves to one of the others)
+METHODS = ("auto", "density_matrix", "statevector", "trajectory")
+
+#: shipped active-qubit budgets per concrete method.  The density-matrix
+#: budget is the historical 14-qubit wall (4**14 complex amplitudes);
+#: the pure-state methods go much further at 2**n.
+DEFAULT_METHOD_QUBIT_BUDGETS = {
+    "density_matrix": 14,
+    "statevector": 26,
+    "trajectory": 26,
+}
+
+_method_qubit_budgets = dict(DEFAULT_METHOD_QUBIT_BUDGETS)
+
+#: default trajectory count when ``trajectories`` is unspecified: enough
+#: for percent-level statistics without drowning the 2**n advantage
+DEFAULT_TRAJECTORIES = 128
+
+_ESCAPE_HATCHES = {
+    "density_matrix": (
+        '; pass method="trajectory" (stochastic noise) or '
+        'method="statevector" (noiseless) to break the 4^n wall, or '
+        "raise the cap with set_method_qubit_budget"
+    ),
+    "statevector": "; raise the cap with set_method_qubit_budget",
+    "trajectory": "; raise the cap with set_method_qubit_budget",
+}
+
+
+def method_qubit_budget(method: str) -> int:
+    """The active-qubit budget currently enforced for ``method``."""
+    _check_method_name(method, concrete=True)
+    return _method_qubit_budgets[method]
+
+
+def method_qubit_budgets() -> dict[str, int]:
+    """Snapshot (a copy) of every budget currently in force.
+
+    The execution service ships this snapshot to its pool workers so
+    ``auto`` resolves identically in every process even after
+    :func:`set_method_qubit_budget` calls in the parent.
+    """
+    return dict(_method_qubit_budgets)
+
+
+def set_method_qubit_budget(method: str, max_qubits: int | None) -> int:
+    """Set (or with ``None`` reset) a method's active-qubit budget.
+
+    Returns the budget now in force.  The budget guards against
+    accidentally materialising a state that cannot fit in memory —
+    raise it deliberately on machines that can afford more.
+    """
+    _check_method_name(method, concrete=True)
+    if max_qubits is None:
+        _method_qubit_budgets[method] = DEFAULT_METHOD_QUBIT_BUDGETS[method]
+    else:
+        if int(max_qubits) < 1:
+            raise BackendError("qubit budget must be >= 1")
+        _method_qubit_budgets[method] = int(max_qubits)
+    return _method_qubit_budgets[method]
+
+
+def default_trajectory_count(shots: int) -> int:
+    """Trajectory count used when the caller does not pin one."""
+    return max(1, min(int(shots), DEFAULT_TRAJECTORIES))
+
+
+def _check_method_name(method: str, concrete: bool = False) -> None:
+    allowed = METHODS[1:] if concrete else METHODS
+    if method not in allowed:
+        raise BackendError(
+            f"unknown simulation method {method!r}; choose from {allowed}"
+        )
+
+
+def _check_qubit_budget(method: str, num_active: int) -> None:
+    budget = _method_qubit_budgets[method]
+    if num_active > budget:
+        raise BackendError(
+            f"{num_active} active qubits exceed the {budget}-qubit "
+            f"{method} simulator budget{_ESCAPE_HATCHES[method]}"
+        )
 
 
 class _RunContext:
@@ -141,6 +250,127 @@ def _resolve_unitary(
         return unitary_provider(op, phys_qubits)
 
 
+# ---------------------------------------------------------------------------
+# front-end: circuit analysis and method selection
+# ---------------------------------------------------------------------------
+
+class _CircuitPlan:
+    """Method-agnostic execution plan for one circuit."""
+
+    __slots__ = (
+        "measured_qubits",
+        "measured_clbits",
+        "active_list",
+        "local",
+        "num_local",
+        "layers",
+        "layer_durations",
+        "coupled_local_pairs",
+    )
+
+    def __init__(self, circuit: QuantumCircuit, target: Target) -> None:
+        measures = [
+            inst
+            for inst in circuit.instructions
+            if isinstance(inst.operation, Measure)
+        ]
+        self.measured_qubits = [inst.qubits[0] for inst in measures]
+        self.measured_clbits = [inst.clbits[0] for inst in measures]
+        if len(set(self.measured_qubits)) != len(self.measured_qubits):
+            raise BackendError("a qubit is measured twice")
+        if len(set(self.measured_clbits)) != len(self.measured_clbits):
+            raise BackendError("two measurements share a classical bit")
+        self.active_list = sorted(_active_qubits(circuit))
+        self.local = {
+            phys: i for i, phys in enumerate(self.active_list)
+        }
+        self.num_local = len(self.active_list)
+        self.layers, self.layer_durations = _layered_moments(
+            circuit, target
+        )
+        self.coupled_local_pairs = [
+            (self.local[a], self.local[b], a, b)
+            for a, b in target.coupling.edges
+            if a in self.local and b in self.local
+        ]
+
+
+def _active_qubits(circuit: QuantumCircuit) -> set[int]:
+    active: set[int] = set()
+    for inst in circuit.instructions:
+        if isinstance(inst.operation, Measure):
+            active.add(inst.qubits[0])
+        elif not isinstance(inst.operation, Barrier):
+            active.update(inst.qubits)
+    return active
+
+
+def _noise_touches_state(
+    circuit: QuantumCircuit, noise_model: NoiseModel | None
+) -> bool:
+    """Whether any configured noise acts on the quantum state itself.
+
+    Readout assignment error is *classical* post-processing of the
+    measurement distribution, so a model carrying only readout error
+    still admits pure-state simulation.
+    """
+    if noise_model is None:
+        return False
+    if noise_model.has_relaxation or noise_model.zz_crosstalk_ghz:
+        return True
+    for inst in circuit.instructions:
+        op = inst.operation
+        if isinstance(op, (Barrier, Measure, Delay)):
+            continue
+        if isinstance(op, PulseGate):
+            if (
+                noise_model.pulse_error_per_dt_1q > 0
+                or noise_model.pulse_error_per_dt_2q > 0
+            ):
+                return True
+            if not getattr(op, "calibrated", False) and (
+                noise_model.pulse_jitter_local > 0
+                or (
+                    noise_model.pulse_jitter_entangling > 0
+                    and op.num_qubits == 2
+                )
+            ):
+                return True
+        elif noise_model.gate_channels(op.name, inst.qubits):
+            return True
+    return False
+
+
+def select_method(
+    circuit: QuantumCircuit,
+    target: Target,
+    noise_model: NoiseModel | None = None,
+    method: str = "auto",
+) -> str:
+    """Resolve ``method`` into a concrete back-end for this circuit.
+
+    The ``auto`` policy picks the cheapest exact-or-statistically-
+    equivalent method: ``statevector`` when no noise touches the state
+    (2**n, exact), else ``density_matrix`` within its qubit budget
+    (4**n, exact), else ``trajectory`` (T * 2**n, statistically
+    equivalent for the stochastic noise this library models).
+    """
+    _check_method_name(method)
+    if method != "auto":
+        return method
+    if not _noise_touches_state(circuit, noise_model):
+        return "statevector"
+    if len(_active_qubits(circuit)) <= _method_qubit_budgets[
+        "density_matrix"
+    ]:
+        return "density_matrix"
+    return "trajectory"
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
 def execute_circuit(
     circuit: QuantumCircuit,
     target: Target,
@@ -150,6 +380,9 @@ def execute_circuit(
     unitary_provider: UnitaryProvider | None = None,
     readout_relaxation_fraction: float = 0.5,
     with_readout_error: bool = True,
+    method: str = "auto",
+    trajectories: int | None = None,
+    trajectory_slice: tuple[int, int] | None = None,
     _context: _RunContext | None = None,
 ) -> ExperimentResult:
     """Run one circuit and sample measurement outcomes.
@@ -157,53 +390,138 @@ def execute_circuit(
     The circuit's qubit indices are interpreted as *physical* qubits of
     ``target`` (run transpiled circuits, or logical ones on a matching
     trivial layout).  Measurements must be terminal.
+
+    ``method`` selects the simulation back-end (see module docstring);
+    the resolved method is reported in the result metadata.  An explicit
+    ``method="statevector"`` on a noisy circuit deliberately drops every
+    channel that would act on the state (readout error still applies) —
+    that is the noiseless escape hatch, not an approximation of the
+    noise.  ``trajectories`` / ``trajectory_slice`` configure the
+    trajectory back-end: counts for slice ``[a, b)`` merged with the
+    complementary slices are identical to one full run at the same seed.
     """
     context = _context if _context is not None else _RunContext(target)
-    measures = [
-        inst
-        for inst in circuit.instructions
-        if isinstance(inst.operation, Measure)
-    ]
-    measured_qubits = [inst.qubits[0] for inst in measures]
-    measured_clbits = [inst.clbits[0] for inst in measures]
-    if len(set(measured_qubits)) != len(measured_qubits):
-        raise BackendError("a qubit is measured twice")
-    if len(set(measured_clbits)) != len(measured_clbits):
-        raise BackendError("two measurements share a classical bit")
-
-    active: set[int] = set(measured_qubits)
-    for inst in circuit.instructions:
-        if not isinstance(inst.operation, (Barrier, Measure)):
-            active.update(inst.qubits)
-    active_list = sorted(active)
-    if len(active_list) > 14:
+    plan = _CircuitPlan(circuit, target)
+    resolved = select_method(circuit, target, noise_model, method)
+    if trajectory_slice is not None and resolved != "trajectory":
+        # a sliced sub-job running the full exact path would return
+        # full-shot counts per slice and the merge would multiply shots
         raise BackendError(
-            f"{len(active_list)} active qubits exceed the density-matrix "
-            f"simulator budget"
+            f"trajectory_slice given but the resolved method is "
+            f"{resolved!r}; slices only apply to method='trajectory'"
         )
-    local = {phys: i for i, phys in enumerate(active_list)}
-    num_local = len(active_list)
+    _check_qubit_budget(resolved, plan.num_local)
 
-    coupled_local_pairs = [
-        (local[a], local[b], a, b)
-        for a, b in target.coupling.edges
-        if a in local and b in local
-    ]
+    if not plan.measured_qubits:
+        return ExperimentResult(
+            Counts({}),
+            sum(plan.layer_durations),
+            metadata={
+                "active_qubits": plan.active_list,
+                "method": resolved,
+            },
+        )
+
+    if resolved == "trajectory":
+        return _execute_trajectory(
+            plan,
+            circuit,
+            noise_model=noise_model,
+            shots=shots,
+            seed=seed,
+            unitary_provider=unitary_provider,
+            readout_relaxation_fraction=readout_relaxation_fraction,
+            with_readout_error=with_readout_error,
+            trajectories=trajectories,
+            trajectory_slice=trajectory_slice,
+            context=context,
+            target=target,
+        )
 
     rng = as_generator(seed)
-    state = DensityMatrix(num_local) if num_local else None
-    layers, layer_durations = _layered_moments(circuit, target)
+    effective_noise = noise_model if resolved == "density_matrix" else None
+    state, total_duration = _evolve_exact(
+        plan,
+        circuit,
+        resolved,
+        effective_noise,
+        rng,
+        context,
+        unitary_provider,
+        target,
+    )
+
+    measure_duration = max(
+        context.measure_duration(q) for q in plan.measured_qubits
+    )
+    if (
+        effective_noise is not None
+        and readout_relaxation_fraction > 0
+    ):
+        effective = int(measure_duration * readout_relaxation_fraction)
+        for q in plan.measured_qubits:
+            channel = effective_noise.relaxation_channel(q, effective)
+            if channel is not None:
+                state.apply_channel(channel, [plan.local[q]])
+    total_duration += measure_duration
+
+    probs = state.probabilities()
+    marginal = _marginalize(
+        probs,
+        [plan.local[q] for q in plan.measured_qubits],
+        plan.num_local,
+    )
+    if (
+        noise_model is not None
+        and with_readout_error
+        and noise_model.readout_error is not None
+    ):
+        readout = noise_model.readout_subset(plan.measured_qubits)
+        marginal = readout.apply_to_probabilities(marginal)
+
+    counts_raw = rng.multinomial(shots, marginal / marginal.sum())
+    observed = np.flatnonzero(counts_raw)
+    counts = _assemble_counts(
+        observed, counts_raw[observed], plan.measured_clbits
+    )
+    return ExperimentResult(
+        counts,
+        total_duration,
+        metadata=_result_metadata(plan, resolved),
+    )
+
+
+def _evolve_exact(
+    plan: _CircuitPlan,
+    circuit: QuantumCircuit,
+    resolved: str,
+    noise_model: NoiseModel | None,
+    rng: np.random.Generator,
+    context: _RunContext,
+    unitary_provider: UnitaryProvider | None,
+    target: Target,
+):
+    """Shared layer walk for the exact (non-sampling) back-ends.
+
+    Returns ``(state, total_duration)`` where ``state`` is a
+    :class:`DensityMatrix` or a :class:`Statevector` (the statevector
+    back-end sees no state noise by construction).
+    """
+    if resolved == "density_matrix":
+        state = DensityMatrix(plan.num_local)
+    else:
+        state = Statevector(plan.num_local)
+    zz_rate = (
+        getattr(noise_model, "zz_crosstalk_ghz", 0.0) if noise_model else 0.0
+    )
     total_duration = 0
-
-    zz_rate = getattr(noise_model, "zz_crosstalk_ghz", 0.0) if noise_model else 0.0
-
-    for layer, duration in zip(layers, layer_durations):
+    for layer, duration in zip(plan.layers, plan.layer_durations):
         for idx in layer:
             inst = circuit.instructions[idx]
             op = inst.operation
             if isinstance(op, Delay):
                 continue
-            qubits = [local[q] for q in inst.qubits]
+            qubits = [plan.local[q] for q in inst.qubits]
             matrix = _resolve_unitary(op, inst.qubits, unitary_provider)
             state.apply_unitary(matrix, qubits)
             if noise_model is not None:
@@ -223,83 +541,223 @@ def execute_circuit(
             _apply_duration_noise(
                 state,
                 noise_model,
-                active_list,
-                local,
-                coupled_local_pairs,
+                plan.active_list,
+                plan.local,
+                plan.coupled_local_pairs,
                 duration,
                 zz_rate,
                 target.dt,
                 context,
             )
         total_duration += duration
+    return state, total_duration
 
-    # ------------------------------------------------------------------
-    # measurement
-    if not measures:
-        counts = Counts({})
-        return ExperimentResult(
-            counts,
-            total_duration,
-            metadata={"active_qubits": active_list},
-        )
+
+def _result_metadata(plan: _CircuitPlan, resolved: str) -> dict:
+    return {
+        "active_qubits": plan.active_list,
+        "measured_qubits": plan.measured_qubits,
+        "clbit_to_qubit": dict(
+            zip(plan.measured_clbits, plan.measured_qubits)
+        ),
+        "method": resolved,
+    }
+
+
+def _assemble_counts(
+    observed: np.ndarray,
+    values: np.ndarray,
+    measured_clbits: Sequence[int],
+) -> Counts:
+    """Map measured-qubit outcome indices onto clbit-positioned counts.
+
+    Touches only the outcomes that actually drew shots.
+    """
+    num_clbits = max(measured_clbits) + 1
+    observed = np.asarray(observed, dtype=np.int64)
+    clbit_values = np.zeros_like(observed)
+    for pos, clbit in enumerate(measured_clbits):
+        clbit_values |= ((observed >> pos) & 1) << clbit
+    counts: dict[str, int] = {}
+    for clbit_value, count in zip(clbit_values, values):
+        key = index_to_bitstring(int(clbit_value), num_clbits)
+        counts[key] = counts.get(key, 0) + int(count)
+    return Counts(counts)
+
+
+# ---------------------------------------------------------------------------
+# trajectory back-end
+# ---------------------------------------------------------------------------
+
+def _compile_trajectory_program(
+    plan: _CircuitPlan,
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel | None,
+    unitary_provider: UnitaryProvider | None,
+    readout_relaxation_fraction: float,
+    context: _RunContext,
+    target: Target,
+) -> tuple[TrajectoryProgram, int]:
+    """Lower the circuit + noise model into a replayable step program.
+
+    Compiled once per circuit and replayed per trajectory, so unitary
+    resolution (including pulse-gate propagators) is paid once.
+    Returns ``(program, total_duration)`` with the measure window
+    included in the duration.
+    """
+    program = TrajectoryProgram(plan.num_local)
+    zz_rate = (
+        getattr(noise_model, "zz_crosstalk_ghz", 0.0) if noise_model else 0.0
+    )
+    total_duration = 0
+    for layer, duration in zip(plan.layers, plan.layer_durations):
+        for idx in layer:
+            inst = circuit.instructions[idx]
+            op = inst.operation
+            if isinstance(op, Delay):
+                continue
+            qubits = [plan.local[q] for q in inst.qubits]
+            matrix = _resolve_unitary(op, inst.qubits, unitary_provider)
+            program.unitary(matrix, qubits)
+            if noise_model is not None:
+                if isinstance(op, PulseGate):
+                    channel = noise_model.pulse_gate_channel(
+                        op.num_qubits, _operation_duration(inst, target)
+                    )
+                    if channel is not None:
+                        program.channel(channel.kraus_ops, qubits)
+                    if not getattr(op, "calibrated", False):
+                        program.jitter(
+                            qubits,
+                            noise_model.pulse_jitter_local,
+                            noise_model.pulse_jitter_entangling,
+                        )
+                else:
+                    for channel in noise_model.gate_channels(
+                        op.name, inst.qubits
+                    ):
+                        program.channel(channel.kraus_ops, qubits)
+        if noise_model is not None and duration > 0:
+            for phys in plan.active_list:
+                channel = noise_model.relaxation_channel(phys, duration)
+                if channel is not None:
+                    program.channel(
+                        channel.kraus_ops, [plan.local[phys]]
+                    )
+            if zz_rate:
+                angle = 2 * math.pi * zz_rate * duration * target.dt
+                rzz = context.zz_unitary(angle)
+                for la, lb, _a, _b in plan.coupled_local_pairs:
+                    program.unitary(rzz, [la, lb])
+        total_duration += duration
 
     measure_duration = max(
-        context.measure_duration(q) for q in measured_qubits
+        context.measure_duration(q) for q in plan.measured_qubits
     )
     if noise_model is not None and readout_relaxation_fraction > 0:
         effective = int(measure_duration * readout_relaxation_fraction)
-        for q in measured_qubits:
+        for q in plan.measured_qubits:
             channel = noise_model.relaxation_channel(q, effective)
             if channel is not None:
-                state.apply_channel(channel, [local[q]])
+                program.channel(channel.kraus_ops, [plan.local[q]])
     total_duration += measure_duration
+    return program, total_duration
 
-    probs = state.probabilities()
-    marginal = _marginalize(
-        probs, [local[q] for q in measured_qubits], num_local
+
+def _execute_trajectory(
+    plan: _CircuitPlan,
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel | None,
+    shots: int,
+    seed: int | None | np.random.Generator,
+    unitary_provider: UnitaryProvider | None,
+    readout_relaxation_fraction: float,
+    with_readout_error: bool,
+    trajectories: int | None,
+    trajectory_slice: tuple[int, int] | None,
+    context: _RunContext,
+    target: Target,
+) -> ExperimentResult:
+    if trajectories is None:
+        total = default_trajectory_count(shots)
+    else:
+        total = int(trajectories)
+        if total < 1:
+            raise BackendError("trajectories must be >= 1")
+    program, total_duration = _compile_trajectory_program(
+        plan,
+        circuit,
+        noise_model,
+        unitary_provider,
+        readout_relaxation_fraction,
+        context,
+        target,
     )
+    readout = None
     if (
         noise_model is not None
         and with_readout_error
         and noise_model.readout_error is not None
     ):
-        readout = noise_model.readout_subset(measured_qubits)
-        marginal = readout.apply_to_probabilities(marginal)
+        readout = noise_model.readout_subset(plan.measured_qubits)
+    outcome_counts = run_trajectories(
+        program,
+        shots,
+        total,
+        seed,
+        measured_positions=[plan.local[q] for q in plan.measured_qubits],
+        readout=readout,
+        trajectory_slice=trajectory_slice,
+    )
+    observed = sorted(outcome_counts)
+    counts = _assemble_counts(
+        np.array(observed, dtype=np.int64),
+        np.array([outcome_counts[i] for i in observed], dtype=np.int64),
+        plan.measured_clbits,
+    )
+    metadata = _result_metadata(plan, "trajectory")
+    metadata["trajectories"] = total
+    if trajectory_slice is not None:
+        metadata["trajectory_slice"] = (
+            int(trajectory_slice[0]),
+            int(trajectory_slice[1]),
+        )
+    return ExperimentResult(counts, total_duration, metadata=metadata)
 
-    # map measured-qubit order onto clbit positions, touching only the
-    # outcomes that actually drew shots
-    num_clbits = max(measured_clbits) + 1
-    counts_raw = rng.multinomial(shots, marginal / marginal.sum())
-    observed = np.flatnonzero(counts_raw)
-    clbit_values = np.zeros_like(observed)
-    for pos, clbit in enumerate(measured_clbits):
-        clbit_values |= ((observed >> pos) & 1) << clbit
-    counts: dict[str, int] = {}
-    for clbit_value, count in zip(clbit_values, counts_raw[observed]):
-        key = index_to_bitstring(int(clbit_value), num_clbits)
-        counts[key] = counts.get(key, 0) + int(count)
+
+def merge_trajectory_results(
+    parts: Sequence[ExperimentResult],
+) -> ExperimentResult:
+    """Merge partial (sliced) trajectory results into one experiment.
+
+    The counts are summed and re-sorted by outcome, so the merged
+    result is identical — counts, duration and metadata — to a single
+    full-range run at the same seed, no matter how the trajectory range
+    was partitioned.
+    """
+    if not parts:
+        raise BackendError("nothing to merge")
+    if len(parts) == 1 and "trajectory_slice" not in parts[0].metadata:
+        return parts[0]
+    merged: dict[str, int] = {}
+    for part in parts:
+        for key, value in part.counts.items():
+            merged[key] = merged.get(key, 0) + int(value)
+    metadata = dict(parts[0].metadata)
+    metadata.pop("trajectory_slice", None)
     return ExperimentResult(
-        Counts(counts),
-        total_duration,
-        metadata={
-            "active_qubits": active_list,
-            "measured_qubits": measured_qubits,
-            "clbit_to_qubit": dict(
-                zip(measured_clbits, measured_qubits)
-            ),
-        },
+        Counts({key: merged[key] for key in sorted(merged)}),
+        parts[0].duration,
+        metadata=metadata,
     )
 
 
-_PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
-_PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
-_PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
-#: entangling axis Z_c X_t with the control as the gate's first qubit
-_ZX_AXIS = np.kron(_PAULI_X, _PAULI_Z)
-
+# ---------------------------------------------------------------------------
+# noise application on exact states
+# ---------------------------------------------------------------------------
 
 def _apply_pulse_jitter(
-    state: DensityMatrix,
+    state,
     op: PulseGate,
     qubits: Sequence[int],
     noise_model: NoiseModel,
@@ -308,37 +766,24 @@ def _apply_pulse_jitter(
     """Parameter-transfer variance of uncalibrated pulses (paper §IV-C).
 
     Calibration-derived pulse gates (marked ``op.calibrated = True`` by
-    the pulse-efficient pass) are actively stabilised and exempt.
+    the pulse-efficient pass) are actively stabilised and exempt.  The
+    kick sampling is shared with the trajectory back-end
+    (:func:`repro.simulators.trajectory.sample_jitter_kicks`) so RNG
+    consumption is identical across methods.
     """
     if getattr(op, "calibrated", False):
         return
-    sigma_local = noise_model.pulse_jitter_local
-    sigma_ent = noise_model.pulse_jitter_entangling
-    if sigma_local > 0:
-        for qubit in qubits:
-            hx, hy, hz = rng.normal(0.0, sigma_local / 2, 3)
-            norm = math.sqrt(hx * hx + hy * hy + hz * hz)
-            if norm < 1e-15:
-                continue
-            kick = (
-                math.cos(norm) * np.eye(2)
-                - 1j
-                * math.sin(norm)
-                / norm
-                * (hx * _PAULI_X + hy * _PAULI_Y + hz * _PAULI_Z)
-            )
-            state.apply_unitary(kick, [qubit])
-    if sigma_ent > 0 and len(qubits) == 2:
-        angle = rng.normal(0.0, sigma_ent)
-        kick = (
-            math.cos(angle / 2) * np.eye(4)
-            - 1j * math.sin(angle / 2) * _ZX_AXIS
-        )
-        state.apply_unitary(kick, qubits)
+    for kick, positions in sample_jitter_kicks(
+        len(qubits),
+        noise_model.pulse_jitter_local,
+        noise_model.pulse_jitter_entangling,
+        rng,
+    ):
+        state.apply_unitary(kick, [qubits[p] for p in positions])
 
 
 def _apply_duration_noise(
-    state: DensityMatrix,
+    state,
     noise_model: NoiseModel,
     active_list: list[int],
     local: dict[int, int],
@@ -381,6 +826,9 @@ def execute_circuits(
     unitary_provider: UnitaryProvider | None = None,
     readout_relaxation_fraction: float = 0.5,
     with_readout_error: bool = True,
+    method: str = "auto",
+    trajectories: int | None = None,
+    trajectory_slice: tuple[int, int] | None = None,
 ) -> list[ExperimentResult]:
     """Run a batch of circuits, amortizing shared derivation work.
 
@@ -397,6 +845,9 @@ def execute_circuits(
     Otherwise per-circuit seeds derive from ``seed`` via
     ``derive_seed(seed, "batch", index)`` (a Generator is shared
     sequentially, which is likewise identical to sequential calls).
+
+    ``method`` / ``trajectories`` / ``trajectory_slice`` apply uniformly
+    to every circuit of the batch (``"auto"`` resolves per circuit).
     """
     circuits = list(circuits)
     if seeds is not None:
@@ -423,6 +874,9 @@ def execute_circuits(
             unitary_provider=unitary_provider,
             readout_relaxation_fraction=readout_relaxation_fraction,
             with_readout_error=with_readout_error,
+            method=method,
+            trajectories=trajectories,
+            trajectory_slice=trajectory_slice,
             _context=context,
         )
         for circuit, circuit_seed in zip(circuits, seeds)

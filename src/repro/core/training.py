@@ -50,6 +50,11 @@ class ExecutionPipeline:
     #: worker-pool width for batched evaluations; 1 = inline (see
     #: SERVICE.md — results are seed-identical for any value)
     jobs: int = 1
+    #: simulation method for every execution ("auto" dispatches per
+    #: circuit; see PERFORMANCE.md "Simulation methods")
+    method: str = "auto"
+    #: trajectory count for the trajectory back-end (None = default)
+    trajectories: int | None = None
     _mitigator_cache: dict = field(default_factory=dict, repr=False)
     _pulse_pass: PulseEfficientRZZ | None = field(default=None, repr=False)
 
@@ -129,6 +134,8 @@ class ExecutionPipeline:
             shots=self.shots,
             seeds=engine_seeds,
             jobs=self.jobs,
+            method=self.method,
+            trajectories=self.trajectories,
         )
         return result.experiments
 

@@ -62,6 +62,8 @@ class HybridWorkflow:
         cvar_alpha: float = 0.3,
         seed: int | None = None,
         jobs: int = 1,
+        method: str = "auto",
+        trajectories: int | None = None,
     ) -> None:
         self.problem = problem
         self.backend = backend
@@ -76,6 +78,10 @@ class HybridWorkflow:
         #: worker-pool width for every stage's batched evaluations;
         #: results are seed-identical for any value (SERVICE.md)
         self.jobs = jobs
+        #: simulation method + trajectory count for every stage's
+        #: executions (PERFORMANCE.md "Simulation methods")
+        self.method = method
+        self.trajectories = trajectories
 
     # ------------------------------------------------------------------
     def _pipeline(self, stage: str) -> ExecutionPipeline:
@@ -95,6 +101,8 @@ class HybridWorkflow:
             use_m3=stage in ("m3", "cvar"),
             shots=self.shots,
             jobs=self.jobs,
+            method=self.method,
+            trajectories=self.trajectories,
         )
 
     def run_stage(self, stage: str) -> StageResult:

@@ -6,6 +6,7 @@ import argparse
 import sys
 import time
 
+from repro.backends.engine import METHODS
 from repro.experiments import (
     ExperimentConfig,
     convergence,
@@ -51,9 +52,26 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for batched circuit evaluations; "
         "results are seed-identical for any value",
     )
+    parser.add_argument(
+        "--method",
+        choices=METHODS,
+        default="auto",
+        help="simulation method: auto picks the cheapest exact-or-"
+        "statistically-equivalent back-end per circuit "
+        "(see PERFORMANCE.md)",
+    )
+    parser.add_argument(
+        "--trajectories",
+        type=int,
+        default=None,
+        help="trajectory count for method=trajectory "
+        "(default: min(shots, 128))",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.trajectories is not None and args.trajectories < 1:
+        parser.error("--trajectories must be >= 1")
 
     config = ExperimentConfig(
         shots=args.shots,
@@ -61,6 +79,8 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         quick=args.quick,
         jobs=args.jobs,
+        method=args.method,
+        trajectories=args.trajectories,
     )
     names = sorted(DRIVERS) if args.experiment == "all" else [args.experiment]
     for name in names:

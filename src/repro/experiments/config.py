@@ -27,6 +27,11 @@ class ExperimentConfig:
     #: worker-pool width for batched circuit evaluations (``--jobs``);
     #: results are seed-identical for any value (see SERVICE.md)
     jobs: int = 1
+    #: simulation method for every circuit execution (``--method``);
+    #: "auto" dispatches per circuit (PERFORMANCE.md)
+    method: str = "auto"
+    #: trajectory count for the trajectory back-end (``--trajectories``)
+    trajectories: int | None = None
 
     def __post_init__(self) -> None:
         if self.quick:

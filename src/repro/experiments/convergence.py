@@ -48,6 +48,8 @@ def run(
         cost=ExpectedCutCost(problem),
         shots=config.shots,
         jobs=config.jobs,
+        method=config.method,
+        trajectories=config.trajectories,
     )
     models = {
         "gate": (GateLevelModel(problem), config.maxiter),

@@ -51,6 +51,8 @@ def run(
         cost=ExpectedCutCost(problem),
         shots=config.shots,
         jobs=config.jobs,
+        method=config.method,
+        trajectories=config.trajectories,
     )
     maximum = problem.maximum_cut()
 

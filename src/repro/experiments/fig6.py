@@ -51,6 +51,8 @@ def run(config: ExperimentConfig | None = None) -> Fig6Result:
                 shots=config.shots,
                 seed=seed,
                 jobs=config.jobs,
+                method=config.method,
+                trajectories=config.trajectories,
             )
             result.ars[(backend_name, task, "gate")] = (
                 gate_workflow.run_stage("m3").approximation_ratio
@@ -65,6 +67,8 @@ def run(config: ExperimentConfig | None = None) -> Fig6Result:
                 shots=config.shots,
                 seed=seed,
                 jobs=config.jobs,
+                method=config.method,
+                trajectories=config.trajectories,
             )
             # Step I on the raw-trained parameters, then the optimized
             # (GO + M3) stage with the compressed mixer

@@ -63,6 +63,8 @@ def run(
                     config.seed, "table2", backend_name, model_name
                 ),
                 jobs=config.jobs,
+                method=config.method,
+                trajectories=config.trajectories,
             )
             stage_results = workflow.run_all(STAGES)
             for stage, stage_result in stage_results.items():

@@ -33,7 +33,14 @@ import threading
 import time
 from collections.abc import Iterable, Iterator, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import replace
 
+from repro.backends.engine import (
+    default_trajectory_count,
+    merge_trajectory_results,
+    method_qubit_budgets,
+    select_method,
+)
 from repro.exceptions import BackendError
 from repro.service.jobs import (
     CircuitJob,
@@ -109,20 +116,27 @@ class ExecutionService:
     def parallel(self) -> bool:
         return self.workers > 1
 
-    def _ensure_executor(self, warm_circuit=None) -> ProcessPoolExecutor:
+    def _ensure_executor(self, warm_job=None) -> ProcessPoolExecutor:
         if self._closed:
             raise BackendError("service is shut down")
         if self._executor is None:
             warm_blob = (
-                pickle.dumps(warm_circuit)
-                if (self.warm and warm_circuit is not None)
+                pickle.dumps((warm_job.circuit, warm_job.method))
+                if (self.warm and warm_job is not None)
                 else None
             )
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=self._mp_context,
                 initializer=_initialize_worker,
-                initargs=(worker_backend_spec(self.backend), warm_blob),
+                # the budget snapshot keeps worker-side "auto"
+                # resolution identical to the parent's even after
+                # set_method_qubit_budget calls or spawn start methods
+                initargs=(
+                    worker_backend_spec(self.backend),
+                    warm_blob,
+                    method_qubit_budgets(),
+                ),
             )
         return self._executor
 
@@ -229,7 +243,23 @@ class ExecutionService:
                 f"{getattr(self.backend, 'name', '')}:"
                 f"{backend_config_digest(self.backend)}"
             )
-        return job_fingerprint(job, self._backend_key)
+        return job_fingerprint(
+            job, self._backend_key, resolved_method=self._resolve_method(job)
+        )
+
+    def _resolve_method(self, job: CircuitJob) -> str:
+        """The concrete method ``job`` will run under on this backend."""
+        if job.method != "auto":
+            return job.method
+        try:
+            return select_method(
+                job.circuit,
+                self.backend.target,
+                self.backend.noise_model if job.with_noise else None,
+                job.method,
+            )
+        except (BackendError, AttributeError):
+            return job.method  # non-engine backend: keyed as-is
 
     def _store_lookup(self, job: CircuitJob):
         """(key, experiment|None): consult the store for one job."""
@@ -251,8 +281,47 @@ class ExecutionService:
             seeds=[job.seed],
             with_noise=job.with_noise,
             with_readout_error=job.with_readout_error,
+            method=job.method,
+            trajectories=job.trajectories,
+            trajectory_slice=job.trajectory_slice,
         )
         return result.experiments[0]
+
+    def _trajectory_subjobs(
+        self, job: CircuitJob
+    ) -> list[CircuitJob] | None:
+        """Fan a trajectory-method job out as slice sub-jobs, or ``None``.
+
+        Per-trajectory RNG derives from the job seed independently of
+        the slicing, so the merged counts are byte-identical to running
+        the whole range on one worker.
+        """
+        if job.trajectory_slice is not None:
+            return None
+        if self._resolve_method(job) != "trajectory":
+            return None
+        total = (
+            default_trajectory_count(job.shots)
+            if job.trajectories is None
+            else int(job.trajectories)
+        )
+        if total < 2:
+            return None
+        slices = plan_shards(total, self.workers, shards_per_worker=2)
+        if len(slices) < 2:
+            return None
+        # sub-jobs pin the *resolved* method: a worker must never
+        # re-resolve "auto" differently and run a slice down the exact
+        # path (which would return full-shot counts per slice)
+        return [
+            replace(
+                job,
+                method="trajectory",
+                trajectories=total,
+                trajectory_slice=(chunk[0], chunk[-1] + 1),
+            )
+            for chunk in slices
+        ]
 
     def submit(self, job: CircuitJob) -> Future:
         """Schedule one job; returns a future of its ExperimentResult.
@@ -289,7 +358,7 @@ class ExecutionService:
                 self._job_finished()
             return future
         try:
-            executor = self._ensure_executor(warm_circuit=job.circuit)
+            executor = self._ensure_executor(warm_job=job)
             with self._lock:
                 self._stats["shards_dispatched"] += 1
             shard_future = executor.submit(_run_shard, [(0, job)])
@@ -355,6 +424,7 @@ class ExecutionService:
         store_hits = len(jobs) - len(missing)
 
         shard_count = 0
+        subjob_count = 0
         if missing and not self.parallel:
             for index in missing:
                 results[index] = self._run_inline(jobs[index])
@@ -363,11 +433,23 @@ class ExecutionService:
                 if keys[index] is not None:
                     self.store.put(keys[index], results[index])
         elif missing:
-            executor = self._ensure_executor(
-                warm_circuit=jobs[missing[0]].circuit
-            )
+            # expand trajectory jobs into slice sub-jobs so a single
+            # big trajectory circuit still saturates the pool; a *unit*
+            # is whatever one worker executes in one piece
+            units: list[CircuitJob] = []
+            owner: list[int] = []
+            for index in missing:
+                sub_jobs = self._trajectory_subjobs(jobs[index])
+                if sub_jobs is None:
+                    units.append(jobs[index])
+                    owner.append(index)
+                else:
+                    units.extend(sub_jobs)
+                    owner.extend([index] * len(sub_jobs))
+                    subjob_count += len(sub_jobs)
+            executor = self._ensure_executor(warm_job=units[0])
             shards = plan_shards(
-                len(missing),
+                len(units),
                 self.workers,
                 shards_per_worker=self.shards_per_worker,
                 min_shard_size=1,
@@ -383,9 +465,7 @@ class ExecutionService:
             shard_count = len(shards)
             futures: list[Future] = []
             for shard in shards:
-                indexed = [
-                    (missing[pos], jobs[missing[pos]]) for pos in shard
-                ]
+                indexed = [(pos, units[pos]) for pos in shard]
                 self._acquire_slots(len(indexed))
                 self._job_started(len(indexed))
                 with self._lock:
@@ -402,6 +482,7 @@ class ExecutionService:
                 )
                 futures.append(shard_future)
             failure: BaseException | None = None
+            unit_results: list = [None] * len(units)
             for shard_future in futures:
                 try:
                     shard: ShardResult = shard_future.result()
@@ -409,16 +490,24 @@ class ExecutionService:
                     failure = failure or exc
                     continue
                 self._absorb_shard(shard)
-                for index, experiment in shard.experiments:
-                    results[index] = experiment
-                    if keys[index] is not None:
-                        self.store.put(keys[index], experiment)
+                for pos, experiment in shard.experiments:
+                    unit_results[pos] = experiment
             if failure is not None:
                 raise failure
+            # stitch sub-job slices back into whole-job results
+            # (unit order is slice order, so grouping by owner suffices)
+            grouped: dict[int, list] = {}
+            for pos, experiment in enumerate(unit_results):
+                grouped.setdefault(owner[pos], []).append(experiment)
+            for index, parts in grouped.items():
+                results[index] = merge_trajectory_results(parts)
+                if keys[index] is not None:
+                    self.store.put(keys[index], results[index])
         meta = {
             "jobs": len(jobs),
             "workers": self.workers if missing else 0,
             "shards": shard_count,
+            "trajectory_subjobs": subjob_count,
             "store_hits": store_hits,
             "wall_seconds": round(time.perf_counter() - start, 6),
             "per_worker": self.stats()["per_worker"],
@@ -432,6 +521,8 @@ class ExecutionService:
         seeds: Sequence[int | None],
         with_noise: bool = True,
         with_readout_error: bool = True,
+        method: str = "auto",
+        trajectories: int | None = None,
     ) -> tuple[list, dict]:
         """The backend integration point: pre-resolved seeds in, ordered
         ExperimentResults + service metadata out."""
@@ -442,6 +533,8 @@ class ExecutionService:
                 seed=seed,
                 with_noise=with_noise,
                 with_readout_error=with_readout_error,
+                method=method,
+                trajectories=trajectories,
             )
             for circuit, seed in zip(circuits, seeds)
         ]

@@ -64,6 +64,14 @@ class CircuitJob:
     worker), so a job is fully reproducible in any process.  ``tag`` is
     free-form caller bookkeeping that rides along into the result
     metadata.
+
+    ``method`` selects the simulation back-end (see
+    :func:`repro.backends.engine.select_method`); ``trajectories`` pins
+    the trajectory count of the trajectory back-end.  ``trajectory_slice``
+    marks a *sub-job*: the service fans one trajectory job out as
+    ``[a, b)`` slices across workers and merges the partial counts —
+    per-trajectory RNG derivation makes the merge independent of the
+    split, so sub-jobs never carry their own store identity.
     """
 
     circuit: QuantumCircuit
@@ -72,10 +80,15 @@ class CircuitJob:
     with_noise: bool = True
     with_readout_error: bool = True
     tag: object = None
+    method: str = "auto"
+    trajectories: int | None = None
+    trajectory_slice: tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
         if self.shots < 1:
             raise BackendError("shots must be positive")
+        if self.trajectories is not None and self.trajectories < 1:
+            raise BackendError("trajectories must be >= 1")
 
     @property
     def deterministic(self) -> bool:
@@ -103,6 +116,8 @@ class SweepJob:
     with_noise: bool = True
     with_readout_error: bool = True
     tag: object = None
+    method: str = "auto"
+    trajectories: int | None = None
     _resolved: list[CircuitJob] | None = field(
         default=None, repr=False, compare=False
     )
@@ -128,6 +143,8 @@ class SweepJob:
                     with_noise=self.with_noise,
                     with_readout_error=self.with_readout_error,
                     tag=self.tag,
+                    method=self.method,
+                    trajectories=self.trajectories,
                 )
                 for circuit, circuit_seed in zip(
                     self.circuits, self.resolved_seeds()
@@ -266,18 +283,30 @@ def backend_config_digest(backend) -> str:
 
 
 def job_fingerprint(
-    job: CircuitJob, backend_key: str
+    job: CircuitJob,
+    backend_key: str,
+    resolved_method: str | None = None,
 ) -> str | None:
     """SHA-256 content hash for the result store, or ``None``.
 
-    ``None`` means the job is not storable: unseeded (non-deterministic)
-    or structurally unkeyable (unbound parameters).  The hash covers the
-    backend identity (``backend_key`` — name plus
-    :func:`backend_config_digest`, as built by the service), the full
-    circuit structure, shots, seed and noise flags — everything the
-    sampled counts depend on.
+    ``None`` means the job is not storable: unseeded (non-deterministic),
+    structurally unkeyable (unbound parameters), or a trajectory
+    *sub-job* (a slice of a fan-out — only the merged whole has a store
+    identity).  The hash covers the backend identity (``backend_key`` —
+    name plus :func:`backend_config_digest`, as built by the service),
+    the full circuit structure, shots, seed, noise flags and the
+    simulation-method fields — everything the sampled counts depend on.
+
+    ``resolved_method`` should carry the *concrete* method ``"auto"``
+    resolves to (the service resolves it via
+    :func:`~repro.backends.engine.select_method`): the sampled counts
+    depend on what actually ran, and the auto policy's answer can change
+    with the configurable qubit budgets — the literal string ``"auto"``
+    would let a store hit serve counts from a different back-end.
     """
     if not job.deterministic:
+        return None
+    if job.trajectory_slice is not None:
         return None
     try:
         fingerprint = circuit_fingerprint(job.circuit)
@@ -285,13 +314,15 @@ def job_fingerprint(
         return None
     payload = repr(
         (
-            "repro-service-v1",
+            "repro-service-v2",
             backend_key,
             fingerprint,
             int(job.shots),
             int(job.seed),
             bool(job.with_noise),
             bool(job.with_readout_error),
+            str(resolved_method or job.method),
+            None if job.trajectories is None else int(job.trajectories),
         )
     ).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()

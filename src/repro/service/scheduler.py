@@ -25,6 +25,7 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.backends.engine import set_method_qubit_budget
 from repro.exceptions import BackendError
 from repro.service.jobs import CircuitJob
 from repro.utils.cache import cache_stats_totals
@@ -114,23 +115,35 @@ def _realize_backend(spec: tuple[str, object]):
 
 
 def _initialize_worker(
-    spec: tuple[str, object], warm_blob: bytes | None
+    spec: tuple[str, object],
+    warm_blob: bytes | None,
+    method_budgets: dict | None = None,
 ) -> None:
     """Pool initializer: build the backend once per process and warm it.
 
-    ``warm_blob`` is a pickled representative circuit from the first
-    batch; executing it with one shot populates the propagator,
+    ``warm_blob`` is a pickled ``(circuit, method)`` pair from the first
+    batch; executing the circuit with one shot — and, for the
+    trajectory method, a single trajectory — populates the propagator,
     calibration, noise-channel and measure-duration caches that every
-    subsequent shard on this worker will hit.
+    subsequent shard on this worker will hit, without paying a full
+    simulation (a big trajectory-method circuit must never be warmed
+    through the 4^n density-matrix path).
     """
     backend = _realize_backend(spec)
     _WORKER["backend"] = backend
+    if method_budgets:
+        # adopt the parent's per-method qubit budgets so "auto"
+        # resolves identically on both sides of the process boundary
+        for method, budget in method_budgets.items():
+            set_method_qubit_budget(method, budget)
     # with a fork start method the child inherits the parent's counters;
     # snapshot them so reported totals are this worker's own work
     if warm_blob is not None:
-        circuit = pickle.loads(warm_blob)
+        circuit, method = pickle.loads(warm_blob)
         try:
-            backend.run(circuit, shots=1, seeds=[0])
+            backend.run(
+                circuit, shots=1, seeds=[0], method=method, trajectories=1
+            )
         except Exception:
             # unwarmable circuit: shards still run, just cold — a warm
             # failure must never break the pool initializer (the job's
@@ -167,6 +180,9 @@ def _run_shard(
             seeds=[job.seed],
             with_noise=job.with_noise,
             with_readout_error=job.with_readout_error,
+            method=job.method,
+            trajectories=job.trajectories,
+            trajectory_slice=job.trajectory_slice,
         )
         experiments.append((index, result.experiments[0]))
     return ShardResult(

@@ -8,12 +8,20 @@ from repro.simulators.sampler import (
     probabilities_to_counts,
     sample_counts,
 )
+from repro.simulators.trajectory import (
+    TrajectoryProgram,
+    run_trajectories,
+    split_shots,
+)
 
 __all__ = [
     "Statevector",
     "simulate_statevector",
     "circuit_to_unitary",
     "DensityMatrix",
+    "TrajectoryProgram",
+    "run_trajectories",
+    "split_shots",
     "counts_to_probabilities",
     "probabilities_to_counts",
     "sample_counts",

@@ -81,6 +81,13 @@ class Statevector:
         )
         return self
 
+    def apply_unitary(
+        self, matrix: np.ndarray, qubits: Sequence[int]
+    ) -> "Statevector":
+        """Alias of :meth:`evolve` matching the DensityMatrix interface,
+        so the execution engine's layer walk is state-type agnostic."""
+        return self.evolve(matrix, qubits)
+
     def probabilities(self) -> np.ndarray:
         """Probability of each basis state."""
         return np.abs(self.data) ** 2

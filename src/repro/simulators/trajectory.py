@@ -1,0 +1,292 @@
+"""Monte Carlo quantum-trajectory (stochastic wavefunction) simulation.
+
+A *trajectory* evolves a statevector through a compiled step program:
+unitaries apply directly, Kraus channels are sampled branch-by-branch
+(branch ``k`` is selected with probability ``||K_k |psi>||^2`` and the
+state renormalised), and pulse-jitter steps draw the same random kicks
+the density-matrix engine would apply.  Averaged over trajectories this
+reproduces the channel's density-matrix evolution exactly, at
+``2**n`` memory per trajectory instead of ``4**n`` — the escape hatch
+past the density-matrix qubit wall for stochastic noise.
+
+Shots are divided into per-trajectory groups
+(:func:`split_shots`); each trajectory owns an independent RNG derived
+via ``derive_seed(seed, "traj", t)``, so the accumulated counts are
+identical for **any** partition of the trajectory range across workers
+— the property the sharded execution service leans on when it fans a
+trajectory job out as sub-jobs.
+
+The circuit-to-program compilation (which channels fire where) lives in
+:mod:`repro.backends.engine`; this module only knows how to run a
+program.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulatorError
+from repro.utils.kernels import marginalize
+from repro.utils.linalg import apply_matrix_to_qubits
+from repro.utils.rng import as_generator, derive_seed
+
+__all__ = [
+    "TrajectoryProgram",
+    "run_trajectories",
+    "sample_jitter_kicks",
+    "sample_kraus_branch",
+    "split_shots",
+]
+
+_PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+#: entangling axis Z_c X_t with the control as the gate's first qubit
+ZX_AXIS = np.kron(_PAULI_X, _PAULI_Z)
+
+
+class TrajectoryProgram:
+    """A compiled, trajectory-replayable instruction stream.
+
+    Steps are plain tuples so one compilation is shared (read-only)
+    across every trajectory:
+
+    * ``("unitary", matrix, qubits)`` — deterministic evolution;
+    * ``("channel", kraus_ops, qubits)`` — sample one Kraus branch;
+    * ``("jitter", qubits, sigma_local, sigma_entangling)`` — random
+      pulse-parameter-transfer kicks (see :func:`sample_jitter_kicks`).
+    """
+
+    __slots__ = ("num_qubits", "steps", "_stochastic")
+
+    def __init__(self, num_qubits: int) -> None:
+        self.num_qubits = int(num_qubits)
+        self.steps: list[tuple] = []
+        self._stochastic = False
+
+    def unitary(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        self.steps.append(
+            ("unitary", np.asarray(matrix, dtype=complex), tuple(qubits))
+        )
+
+    def channel(self, kraus_ops: Sequence[np.ndarray], qubits: Sequence[int]) -> None:
+        ops = [np.asarray(op, dtype=complex) for op in kraus_ops]
+        if len(ops) == 1:
+            # completeness (checked at channel construction) makes a
+            # single-operator channel unitary: no sampling needed
+            self.steps.append(("unitary", ops[0], tuple(qubits)))
+            return
+        self.steps.append(("channel", ops, tuple(qubits)))
+        self._stochastic = True
+
+    def jitter(
+        self,
+        qubits: Sequence[int],
+        sigma_local: float,
+        sigma_entangling: float,
+    ) -> None:
+        if sigma_local <= 0 and sigma_entangling <= 0:
+            return
+        self.steps.append(
+            ("jitter", tuple(qubits), float(sigma_local), float(sigma_entangling))
+        )
+        self._stochastic = True
+
+    @property
+    def is_stochastic(self) -> bool:
+        """Whether replaying the program consumes randomness."""
+        return self._stochastic
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:
+        return (
+            f"TrajectoryProgram({self.num_qubits} qubits, "
+            f"{len(self.steps)} steps, "
+            f"{'stochastic' if self._stochastic else 'deterministic'})"
+        )
+
+
+def split_shots(shots: int, trajectories: int) -> list[int]:
+    """Deterministic shot allotment: trajectory ``t`` gets ``out[t]`` shots.
+
+    The first ``shots % trajectories`` trajectories carry one extra
+    shot, so any worker holding slice ``[a, b)`` can recompute its own
+    allotment without coordination.
+    """
+    if shots < 0 or trajectories < 1:
+        raise SimulatorError(
+            f"bad shot split: {shots} shots over {trajectories} trajectories"
+        )
+    base, extra = divmod(int(shots), int(trajectories))
+    return [base + (1 if t < extra else 0) for t in range(trajectories)]
+
+
+def sample_kraus_branch(
+    state: np.ndarray,
+    kraus_ops: Sequence[np.ndarray],
+    qubits: Sequence[int],
+    num_qubits: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Apply one randomly selected Kraus branch to a normalised state.
+
+    Branch ``k`` is chosen with probability ``||K_k |psi>||^2``; exactly
+    one uniform draw is consumed per call, so RNG consumption does not
+    depend on which branch fires.  The returned state is normalised.
+    """
+    pick = rng.random()
+    acc = 0.0
+    candidate = None
+    norm_sq = 0.0
+    for op in kraus_ops:
+        candidate = apply_matrix_to_qubits(op, state, qubits, num_qubits)
+        norm_sq = float(np.real(np.vdot(candidate, candidate)))
+        acc += norm_sq
+        if pick < acc:
+            break
+    # fall through to the last branch on accumulated rounding error
+    if norm_sq <= 0.0:
+        raise SimulatorError(
+            "Kraus sampling hit a zero-probability branch"
+        )
+    return candidate / math.sqrt(norm_sq)
+
+
+def sample_jitter_kicks(
+    num_qubits: int,
+    sigma_local: float,
+    sigma_entangling: float,
+    rng: np.random.Generator,
+) -> list[tuple[np.ndarray, tuple[int, ...]]]:
+    """Random pulse-jitter kicks for an uncalibrated pulse gate.
+
+    Returns ``(kick_matrix, relative_positions)`` pairs, where positions
+    index into the gate's qubit tuple.  The draw order (three normals
+    per qubit for the local kick, then one for the entangling kick)
+    matches the historical density-matrix engine bit-for-bit, so fixed
+    seeds reproduce the seed path's results on every method.
+    """
+    kicks: list[tuple[np.ndarray, tuple[int, ...]]] = []
+    if sigma_local > 0:
+        for position in range(num_qubits):
+            hx, hy, hz = rng.normal(0.0, sigma_local / 2, 3)
+            norm = math.sqrt(hx * hx + hy * hy + hz * hz)
+            if norm < 1e-15:
+                continue
+            kick = (
+                math.cos(norm) * np.eye(2)
+                - 1j
+                * math.sin(norm)
+                / norm
+                * (hx * _PAULI_X + hy * _PAULI_Y + hz * _PAULI_Z)
+            )
+            kicks.append((kick, (position,)))
+    if sigma_entangling > 0 and num_qubits == 2:
+        angle = rng.normal(0.0, sigma_entangling)
+        kick = (
+            math.cos(angle / 2) * np.eye(4)
+            - 1j * math.sin(angle / 2) * ZX_AXIS
+        )
+        kicks.append((kick, (0, 1)))
+    return kicks
+
+
+def _run_one(
+    program: TrajectoryProgram, rng: np.random.Generator
+) -> np.ndarray:
+    """Replay the program once; returns the final statevector array."""
+    n = program.num_qubits
+    state = np.zeros(1 << n, dtype=complex)
+    state[0] = 1.0
+    for step in program.steps:
+        kind = step[0]
+        if kind == "unitary":
+            _, matrix, qubits = step
+            state = apply_matrix_to_qubits(matrix, state, qubits, n)
+        elif kind == "channel":
+            _, kraus_ops, qubits = step
+            state = sample_kraus_branch(state, kraus_ops, qubits, n, rng)
+        else:  # jitter
+            _, qubits, sigma_local, sigma_ent = step
+            for kick, positions in sample_jitter_kicks(
+                len(qubits), sigma_local, sigma_ent, rng
+            ):
+                state = apply_matrix_to_qubits(
+                    kick, state, [qubits[p] for p in positions], n
+                )
+    return state
+
+
+def run_trajectories(
+    program: TrajectoryProgram,
+    shots: int,
+    trajectories: int,
+    seed: int | None | np.random.Generator,
+    measured_positions: Sequence[int],
+    readout=None,
+    trajectory_slice: tuple[int, int] | None = None,
+) -> dict[int, int]:
+    """Accumulate measurement counts over a range of trajectories.
+
+    ``measured_positions`` are the (local) qubit positions marginalised
+    into the outcome index (``positions[0]`` = output LSB); ``readout``
+    is an optional :class:`~repro.noise.readout.ReadoutError` already
+    restricted to the measured qubits.  ``trajectory_slice`` bounds the
+    half-open trajectory range to run (default: all of them) — merged
+    counts are identical for any slicing because trajectory ``t``'s RNG
+    is ``derive_seed(seed, "traj", t)`` regardless of the slice.
+
+    Returns sparse ``{outcome_index: count}`` over the measured qubits.
+    """
+    if not measured_positions:
+        raise SimulatorError("run_trajectories needs measured positions")
+    start, stop = trajectory_slice if trajectory_slice is not None else (
+        0,
+        trajectories,
+    )
+    if not (0 <= start < stop <= trajectories):
+        raise SimulatorError(
+            f"trajectory slice [{start}, {stop}) outside "
+            f"[0, {trajectories})"
+        )
+    shared_rng = seed if isinstance(seed, np.random.Generator) else None
+    if shared_rng is not None and (start, stop) != (0, trajectories):
+        raise SimulatorError(
+            "a shared Generator seed cannot run a partial trajectory "
+            "slice reproducibly; pass an integer seed"
+        )
+    allotment = split_shots(shots, trajectories)
+    outcome_counts: dict[int, int] = {}
+    frozen_marginal: np.ndarray | None = None
+    for t in range(start, stop):
+        group_shots = allotment[t]
+        if group_shots == 0:
+            continue
+        rng = shared_rng or as_generator(derive_seed(seed, "traj", t))
+        if frozen_marginal is None:
+            state = _run_one(program, rng)
+            probs = np.abs(state) ** 2
+            marginal = marginalize(
+                probs, measured_positions, program.num_qubits
+            )
+            if readout is not None:
+                marginal = readout.apply_to_probabilities(marginal)
+            marginal = marginal / marginal.sum()
+            if not program.is_stochastic:
+                # deterministic program: every trajectory reaches the
+                # same state — evolve once, keep sampling per-trajectory
+                frozen_marginal = marginal
+        else:
+            marginal = frozen_marginal
+        outcomes = rng.multinomial(group_shots, marginal)
+        for index in np.flatnonzero(outcomes):
+            index = int(index)
+            outcome_counts[index] = (
+                outcome_counts.get(index, 0) + int(outcomes[index])
+            )
+    return outcome_counts

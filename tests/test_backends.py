@@ -112,14 +112,18 @@ class TestExecuteCircuit:
         assert sum(result.get_counts().values()) == 100
         assert result.experiments[0].metadata["active_qubits"] == [0, 1]
 
-    def test_too_many_active_qubits(self):
+    def test_too_many_active_qubits_for_density_matrix(self):
         target = Target(20, CouplingMap.from_line(20))
         qc = QuantumCircuit(20)
         for q in range(20):
             qc.h(q)
         qc.measure_all()
-        with pytest.raises(BackendError):
-            execute_circuit(qc, target, shots=1)
+        with pytest.raises(BackendError, match="density_matrix"):
+            execute_circuit(qc, target, shots=1, method="density_matrix")
+        # the auto policy routes the noiseless 20-qubit circuit to the
+        # statevector back-end instead of hitting the 4^n wall
+        result = execute_circuit(qc, target, shots=1, seed=0)
+        assert result.metadata["method"] == "statevector"
 
     def test_double_measure_rejected(self):
         target = small_target(1)
