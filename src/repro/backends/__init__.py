@@ -8,6 +8,7 @@ from repro.backends.engine import (
     execute_circuits,
     merge_trajectory_results,
     method_qubit_budget,
+    resolve_trajectory_request,
     select_method,
     set_method_qubit_budget,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "execute_circuits",
     "merge_trajectory_results",
     "method_qubit_budget",
+    "resolve_trajectory_request",
     "select_method",
     "set_method_qubit_budget",
     "SimulatedBackend",

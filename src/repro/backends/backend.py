@@ -88,8 +88,10 @@ class SimulatedBackend:
         seeds: Sequence[int | None] | None = None,
         jobs: int = 1,
         method: str = "auto",
-        trajectories: int | None = None,
+        trajectories: int | str | None = None,
+        target_error: float | None = None,
         trajectory_slice: tuple[int, int] | None = None,
+        trajectory_batch: int | None = None,
     ) -> Result:
         """Execute one or more circuits and return sampled counts.
 
@@ -103,8 +105,11 @@ class SimulatedBackend:
         ``method`` picks the simulation back-end per circuit
         (``"auto"`` — the default — resolves via
         :func:`~repro.backends.engine.select_method`);
-        ``trajectories`` / ``trajectory_slice`` configure the
-        trajectory back-end.
+        ``trajectories`` / ``target_error`` / ``trajectory_slice`` /
+        ``trajectory_batch`` configure the trajectory back-end.
+        ``trajectories="auto"`` enables adaptive allocation: rounds of
+        trajectories run until the counts-distribution standard error
+        meets ``target_error`` (see PERFORMANCE.md).
 
         ``jobs > 1`` shards the batch across the backend's persistent
         :class:`~repro.service.futures.ExecutionService` worker pool —
@@ -143,6 +148,8 @@ class SimulatedBackend:
                 with_readout_error=with_readout_error,
                 method=method,
                 trajectories=trajectories,
+                target_error=target_error,
+                trajectory_batch=trajectory_batch,
             )
             return Result(
                 experiments,
@@ -160,7 +167,9 @@ class SimulatedBackend:
             with_readout_error=with_readout_error,
             method=method,
             trajectories=trajectories,
+            target_error=target_error,
             trajectory_slice=trajectory_slice,
+            trajectory_batch=trajectory_batch,
         )
         return Result(experiments, backend_name=self.name, shots=shots)
 

@@ -20,8 +20,11 @@ Three back-ends share that front-end, selected by ``method=``:
   error is classical and still applied);
 * ``"trajectory"`` — Monte Carlo stochastic-wavefunction sampling
   (:mod:`repro.simulators.trajectory`): ``2**n`` per trajectory,
-  embarrassingly parallel, statistically equivalent for Kraus/stochastic
-  noise — the path past the density-matrix wall;
+  batched ``(2**n, B)`` kernel, embarrassingly parallel, statistically
+  equivalent for Kraus/stochastic noise — the path past the
+  density-matrix wall.  ``trajectories="auto"`` (with ``target_error=``)
+  switches it to adaptive allocation: trajectories run in rounds until
+  the counts-distribution standard error meets the target;
 * ``"auto"`` (default) picks the cheapest of the three that is exact or
   statistically equivalent for the circuit's noise content
   (:func:`select_method`).
@@ -50,6 +53,7 @@ from repro.simulators.statevector import Statevector
 from repro.simulators.trajectory import (
     TrajectoryProgram,
     run_trajectories,
+    run_trajectories_adaptive,
     sample_jitter_kicks,
 )
 from repro.utils.bitstrings import index_to_bitstring
@@ -75,6 +79,15 @@ _method_qubit_budgets = dict(DEFAULT_METHOD_QUBIT_BUDGETS)
 #: default trajectory count when ``trajectories`` is unspecified: enough
 #: for percent-level statistics without drowning the 2**n advantage
 DEFAULT_TRAJECTORIES = 128
+
+#: default counts-distribution precision for ``trajectories="auto"``
+DEFAULT_TARGET_ERROR = 0.02
+
+#: adaptive allocation grows in rounds of this many trajectories
+ADAPTIVE_ROUND_TRAJECTORIES = 32
+
+#: hard ceiling on adaptive trajectory growth (also capped by shots)
+ADAPTIVE_MAX_TRAJECTORIES = 1024
 
 _ESCAPE_HATCHES = {
     "density_matrix": (
@@ -123,6 +136,48 @@ def set_method_qubit_budget(method: str, max_qubits: int | None) -> int:
 def default_trajectory_count(shots: int) -> int:
     """Trajectory count used when the caller does not pin one."""
     return max(1, min(int(shots), DEFAULT_TRAJECTORIES))
+
+
+def resolve_trajectory_request(
+    trajectories: int | str | None,
+    target_error: float | None,
+    shots: int,
+) -> tuple[int | None, float | None]:
+    """Normalise the (trajectories, target_error) pair of knobs.
+
+    Returns ``(fixed_count, None)`` for a fixed-count run or
+    ``(None, target_error)`` for adaptive allocation.  ``"auto"``
+    selects adaptive allocation (``target_error`` defaults to
+    :data:`DEFAULT_TARGET_ERROR`); a bare ``target_error`` implies
+    ``"auto"``; ``target_error`` alongside a pinned integer count is a
+    contradiction and is rejected.
+    """
+    if isinstance(trajectories, str):
+        if trajectories != "auto":
+            raise BackendError(
+                f"trajectories must be an int, None or 'auto', got "
+                f"{trajectories!r}"
+            )
+        error = DEFAULT_TARGET_ERROR if target_error is None else target_error
+        if error <= 0:
+            raise BackendError("target_error must be > 0")
+        return None, float(error)
+    if target_error is not None:
+        if trajectories is not None:
+            raise BackendError(
+                "target_error requires trajectories='auto' (or leaving "
+                "trajectories unset); a pinned trajectory count cannot "
+                "adapt"
+            )
+        if target_error <= 0:
+            raise BackendError("target_error must be > 0")
+        return None, float(target_error)
+    if trajectories is None:
+        return default_trajectory_count(shots), None
+    total = int(trajectories)
+    if total < 1:
+        raise BackendError("trajectories must be >= 1")
+    return total, None
 
 
 def _check_method_name(method: str, concrete: bool = False) -> None:
@@ -381,8 +436,10 @@ def execute_circuit(
     readout_relaxation_fraction: float = 0.5,
     with_readout_error: bool = True,
     method: str = "auto",
-    trajectories: int | None = None,
+    trajectories: int | str | None = None,
+    target_error: float | None = None,
     trajectory_slice: tuple[int, int] | None = None,
+    trajectory_batch: int | None = None,
     _context: _RunContext | None = None,
 ) -> ExperimentResult:
     """Run one circuit and sample measurement outcomes.
@@ -399,7 +456,15 @@ def execute_circuit(
     noise.  ``trajectories`` / ``trajectory_slice`` configure the
     trajectory back-end: counts for slice ``[a, b)`` merged with the
     complementary slices are identical to one full run at the same seed.
+    ``trajectories="auto"`` (or a bare ``target_error``) switches the
+    trajectory back-end to adaptive allocation: trajectories run in
+    rounds until the estimated counts-distribution standard error drops
+    to ``target_error``.  ``trajectory_batch`` bounds how many
+    trajectories the batched kernel stacks per call (``1`` = the
+    sequential reference loop; counts are byte-identical either way).
     """
+    if trajectory_batch is not None and trajectory_batch < 1:
+        raise BackendError("trajectory_batch must be >= 1")
     context = _context if _context is not None else _RunContext(target)
     plan = _CircuitPlan(circuit, target)
     resolved = select_method(circuit, target, noise_model, method)
@@ -422,6 +487,12 @@ def execute_circuit(
             },
         )
 
+    if resolved != "trajectory":
+        # like a pinned ``trajectories=`` count, the adaptive knobs
+        # configure the trajectory back-end only — but reject malformed
+        # values eagerly so typos don't ride along silently
+        resolve_trajectory_request(trajectories, target_error, shots)
+
     if resolved == "trajectory":
         return _execute_trajectory(
             plan,
@@ -433,7 +504,9 @@ def execute_circuit(
             readout_relaxation_fraction=readout_relaxation_fraction,
             with_readout_error=with_readout_error,
             trajectories=trajectories,
+            target_error=target_error,
             trajectory_slice=trajectory_slice,
+            trajectory_batch=trajectory_batch,
             context=context,
             target=target,
         )
@@ -673,17 +746,22 @@ def _execute_trajectory(
     unitary_provider: UnitaryProvider | None,
     readout_relaxation_fraction: float,
     with_readout_error: bool,
-    trajectories: int | None,
+    trajectories: int | str | None,
+    target_error: float | None,
     trajectory_slice: tuple[int, int] | None,
+    trajectory_batch: int | None,
     context: _RunContext,
     target: Target,
 ) -> ExperimentResult:
-    if trajectories is None:
-        total = default_trajectory_count(shots)
-    else:
-        total = int(trajectories)
-        if total < 1:
-            raise BackendError("trajectories must be >= 1")
+    total, resolved_target_error = resolve_trajectory_request(
+        trajectories, target_error, shots
+    )
+    if total is None and trajectory_slice is not None:
+        raise BackendError(
+            "adaptive trajectory allocation (trajectories='auto') cannot "
+            "run a trajectory slice: the total count is only known once "
+            "the run converges; pin an integer trajectory count to slice"
+        )
     program, total_duration = _compile_trajectory_program(
         plan,
         circuit,
@@ -700,15 +778,32 @@ def _execute_trajectory(
         and noise_model.readout_error is not None
     ):
         readout = noise_model.readout_subset(plan.measured_qubits)
-    outcome_counts = run_trajectories(
-        program,
-        shots,
-        total,
-        seed,
-        measured_positions=[plan.local[q] for q in plan.measured_qubits],
-        readout=readout,
-        trajectory_slice=trajectory_slice,
-    )
+    measured_positions = [plan.local[q] for q in plan.measured_qubits]
+    adaptive_info = None
+    if total is None:
+        outcome_counts, adaptive_info = run_trajectories_adaptive(
+            program,
+            shots,
+            seed,
+            measured_positions=measured_positions,
+            readout=readout,
+            target_error=resolved_target_error,
+            round_size=ADAPTIVE_ROUND_TRAJECTORIES,
+            max_trajectories=ADAPTIVE_MAX_TRAJECTORIES,
+            batch_size=trajectory_batch,
+        )
+        total = adaptive_info["trajectories"]
+    else:
+        outcome_counts = run_trajectories(
+            program,
+            shots,
+            total,
+            seed,
+            measured_positions=measured_positions,
+            readout=readout,
+            trajectory_slice=trajectory_slice,
+            batch_size=trajectory_batch,
+        )
     observed = sorted(outcome_counts)
     counts = _assemble_counts(
         np.array(observed, dtype=np.int64),
@@ -717,6 +812,15 @@ def _execute_trajectory(
     )
     metadata = _result_metadata(plan, "trajectory")
     metadata["trajectories"] = total
+    if adaptive_info is not None:
+        # flat scalar keys so the result survives the on-disk store
+        metadata["adaptive"] = True
+        metadata["adaptive_rounds"] = adaptive_info["rounds"]
+        metadata["adaptive_target_error"] = adaptive_info["target_error"]
+        metadata["adaptive_achieved_error"] = adaptive_info[
+            "achieved_error"
+        ]
+        metadata["adaptive_converged"] = adaptive_info["converged"]
     if trajectory_slice is not None:
         metadata["trajectory_slice"] = (
             int(trajectory_slice[0]),
@@ -827,8 +931,10 @@ def execute_circuits(
     readout_relaxation_fraction: float = 0.5,
     with_readout_error: bool = True,
     method: str = "auto",
-    trajectories: int | None = None,
+    trajectories: int | str | None = None,
+    target_error: float | None = None,
     trajectory_slice: tuple[int, int] | None = None,
+    trajectory_batch: int | None = None,
 ) -> list[ExperimentResult]:
     """Run a batch of circuits, amortizing shared derivation work.
 
@@ -846,8 +952,9 @@ def execute_circuits(
     ``derive_seed(seed, "batch", index)`` (a Generator is shared
     sequentially, which is likewise identical to sequential calls).
 
-    ``method`` / ``trajectories`` / ``trajectory_slice`` apply uniformly
-    to every circuit of the batch (``"auto"`` resolves per circuit).
+    ``method`` / ``trajectories`` / ``target_error`` /
+    ``trajectory_slice`` / ``trajectory_batch`` apply uniformly to every
+    circuit of the batch (``"auto"`` resolves per circuit).
     """
     circuits = list(circuits)
     if seeds is not None:
@@ -876,7 +983,9 @@ def execute_circuits(
             with_readout_error=with_readout_error,
             method=method,
             trajectories=trajectories,
+            target_error=target_error,
             trajectory_slice=trajectory_slice,
+            trajectory_batch=trajectory_batch,
             _context=context,
         )
         for circuit, circuit_seed in zip(circuits, seeds)

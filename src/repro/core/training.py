@@ -53,8 +53,12 @@ class ExecutionPipeline:
     #: simulation method for every execution ("auto" dispatches per
     #: circuit; see PERFORMANCE.md "Simulation methods")
     method: str = "auto"
-    #: trajectory count for the trajectory back-end (None = default)
-    trajectories: int | None = None
+    #: trajectory count for the trajectory back-end: an int pins it,
+    #: "auto" adapts it per circuit, None = default
+    trajectories: int | str | None = None
+    #: counts-distribution precision adaptive allocation stops at
+    #: (implies trajectories="auto"; see PERFORMANCE.md)
+    target_error: float | None = None
     _mitigator_cache: dict = field(default_factory=dict, repr=False)
     _pulse_pass: PulseEfficientRZZ | None = field(default=None, repr=False)
 
@@ -136,6 +140,7 @@ class ExecutionPipeline:
             jobs=self.jobs,
             method=self.method,
             trajectories=self.trajectories,
+            target_error=self.target_error,
         )
         return result.experiments
 

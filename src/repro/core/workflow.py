@@ -63,7 +63,8 @@ class HybridWorkflow:
         seed: int | None = None,
         jobs: int = 1,
         method: str = "auto",
-        trajectories: int | None = None,
+        trajectories: int | str | None = None,
+        target_error: float | None = None,
     ) -> None:
         self.problem = problem
         self.backend = backend
@@ -78,10 +79,11 @@ class HybridWorkflow:
         #: worker-pool width for every stage's batched evaluations;
         #: results are seed-identical for any value (SERVICE.md)
         self.jobs = jobs
-        #: simulation method + trajectory count for every stage's
+        #: simulation method + trajectory allocation for every stage's
         #: executions (PERFORMANCE.md "Simulation methods")
         self.method = method
         self.trajectories = trajectories
+        self.target_error = target_error
 
     # ------------------------------------------------------------------
     def _pipeline(self, stage: str) -> ExecutionPipeline:
@@ -103,6 +105,7 @@ class HybridWorkflow:
             jobs=self.jobs,
             method=self.method,
             trajectories=self.trajectories,
+            target_error=self.target_error,
         )
 
     def run_stage(self, stage: str) -> StageResult:

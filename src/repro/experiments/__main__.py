@@ -27,6 +27,18 @@ DRIVERS = {
 }
 
 
+def _trajectories_arg(value: str):
+    """``--trajectories`` accepts an integer count or the word 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -62,16 +74,34 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--trajectories",
-        type=int,
+        type=_trajectories_arg,
         default=None,
-        help="trajectory count for method=trajectory "
-        "(default: min(shots, 128))",
+        metavar="N|auto",
+        help="trajectory count for method=trajectory: an integer pins "
+        "it (default: min(shots, 128)); 'auto' adapts the count per "
+        "circuit until --target-error is met",
+    )
+    parser.add_argument(
+        "--target-error",
+        type=float,
+        default=None,
+        help="counts-distribution standard error adaptive trajectory "
+        "allocation stops at (implies --trajectories auto; "
+        "default 0.02 when auto is requested bare)",
     )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
-    if args.trajectories is not None and args.trajectories < 1:
-        parser.error("--trajectories must be >= 1")
+    if isinstance(args.trajectories, int) and args.trajectories < 1:
+        parser.error("--trajectories must be >= 1 or 'auto'")
+    if args.target_error is not None:
+        if args.target_error <= 0:
+            parser.error("--target-error must be > 0")
+        if isinstance(args.trajectories, int):
+            parser.error(
+                "--target-error requires --trajectories auto "
+                "(or omitting --trajectories)"
+            )
 
     config = ExperimentConfig(
         shots=args.shots,
@@ -81,6 +111,7 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         method=args.method,
         trajectories=args.trajectories,
+        target_error=args.target_error,
     )
     names = sorted(DRIVERS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -30,8 +30,12 @@ class ExperimentConfig:
     #: simulation method for every circuit execution (``--method``);
     #: "auto" dispatches per circuit (PERFORMANCE.md)
     method: str = "auto"
-    #: trajectory count for the trajectory back-end (``--trajectories``)
-    trajectories: int | None = None
+    #: trajectory count for the trajectory back-end
+    #: (``--trajectories N`` pins it, ``--trajectories auto`` adapts it)
+    trajectories: int | str | None = None
+    #: counts-distribution precision adaptive allocation stops at
+    #: (``--target-error``; implies ``--trajectories auto``)
+    target_error: float | None = None
 
     def __post_init__(self) -> None:
         if self.quick:

@@ -50,6 +50,7 @@ def run(
         jobs=config.jobs,
         method=config.method,
         trajectories=config.trajectories,
+        target_error=config.target_error,
     )
     models = {
         "gate": (GateLevelModel(problem), config.maxiter),

@@ -53,6 +53,7 @@ def run(
         jobs=config.jobs,
         method=config.method,
         trajectories=config.trajectories,
+        target_error=config.target_error,
     )
     maximum = problem.maximum_cut()
 

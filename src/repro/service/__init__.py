@@ -12,6 +12,7 @@ from repro.service.jobs import (
     backend_config_digest,
     circuit_fingerprint,
     derive_job_seeds,
+    describe_job,
     job_fingerprint,
 )
 from repro.service.scheduler import plan_shards
@@ -26,6 +27,7 @@ __all__ = [
     "backend_config_digest",
     "circuit_fingerprint",
     "derive_job_seeds",
+    "describe_job",
     "job_fingerprint",
     "plan_shards",
 ]

@@ -54,6 +54,7 @@ from repro.service.scheduler import (
     _initialize_worker,
     _run_shard,
     plan_shards,
+    run_job_on_backend,
     worker_backend_spec,
 )
 from repro.service.store import ResultStore
@@ -275,17 +276,7 @@ class ExecutionService:
         return key, experiment
 
     def _run_inline(self, job: CircuitJob):
-        result = self.backend.run(
-            job.circuit,
-            shots=job.shots,
-            seeds=[job.seed],
-            with_noise=job.with_noise,
-            with_readout_error=job.with_readout_error,
-            method=job.method,
-            trajectories=job.trajectories,
-            trajectory_slice=job.trajectory_slice,
-        )
-        return result.experiments[0]
+        return run_job_on_backend(self.backend, job)
 
     def _trajectory_subjobs(
         self, job: CircuitJob
@@ -294,9 +285,14 @@ class ExecutionService:
 
         Per-trajectory RNG derives from the job seed independently of
         the slicing, so the merged counts are byte-identical to running
-        the whole range on one worker.
+        the whole range on one worker.  Adaptive jobs
+        (``trajectories="auto"`` / ``target_error=``) never fan out:
+        their total trajectory count is only known once the run
+        converges, so they execute as one unit.
         """
         if job.trajectory_slice is not None:
+            return None
+        if isinstance(job.trajectories, str) or job.target_error is not None:
             return None
         if self._resolve_method(job) != "trajectory":
             return None
@@ -522,7 +518,9 @@ class ExecutionService:
         with_noise: bool = True,
         with_readout_error: bool = True,
         method: str = "auto",
-        trajectories: int | None = None,
+        trajectories: int | str | None = None,
+        target_error: float | None = None,
+        trajectory_batch: int | None = None,
     ) -> tuple[list, dict]:
         """The backend integration point: pre-resolved seeds in, ordered
         ExperimentResults + service metadata out."""
@@ -535,6 +533,8 @@ class ExecutionService:
                 with_readout_error=with_readout_error,
                 method=method,
                 trajectories=trajectories,
+                target_error=target_error,
+                trajectory_batch=trajectory_batch,
             )
             for circuit, seed in zip(circuits, seeds)
         ]

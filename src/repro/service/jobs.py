@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
+from repro.backends.engine import resolve_trajectory_request
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import PulseGate, UnitaryGate
 from repro.exceptions import BackendError
@@ -45,6 +46,7 @@ __all__ = [
     "backend_config_digest",
     "circuit_fingerprint",
     "derive_job_seeds",
+    "describe_job",
     "job_fingerprint",
 ]
 
@@ -67,11 +69,18 @@ class CircuitJob:
 
     ``method`` selects the simulation back-end (see
     :func:`repro.backends.engine.select_method`); ``trajectories`` pins
-    the trajectory count of the trajectory back-end.  ``trajectory_slice``
-    marks a *sub-job*: the service fans one trajectory job out as
-    ``[a, b)`` slices across workers and merges the partial counts —
-    per-trajectory RNG derivation makes the merge independent of the
-    split, so sub-jobs never carry their own store identity.
+    the trajectory count of the trajectory back-end, or requests
+    adaptive allocation with ``"auto"`` (``target_error`` sets the
+    precision the adaptive run stops at; adaptive jobs never fan out as
+    slices — the total count is only known once the run converges).
+    ``trajectory_slice`` marks a *sub-job*: the service fans one
+    trajectory job out as ``[a, b)`` slices across workers and merges
+    the partial counts — per-trajectory RNG derivation makes the merge
+    independent of the split, so sub-jobs never carry their own store
+    identity.  ``trajectory_batch`` bounds the batched kernel's stack
+    width; it never enters the store key because counts are
+    byte-identical for every batch size (batched and sequential
+    execution may share one cached result by design).
     """
 
     circuit: QuantumCircuit
@@ -81,14 +90,21 @@ class CircuitJob:
     with_readout_error: bool = True
     tag: object = None
     method: str = "auto"
-    trajectories: int | None = None
+    trajectories: int | str | None = None
+    target_error: float | None = None
     trajectory_slice: tuple[int, int] | None = None
+    trajectory_batch: int | None = None
 
     def __post_init__(self) -> None:
         if self.shots < 1:
             raise BackendError("shots must be positive")
-        if self.trajectories is not None and self.trajectories < 1:
-            raise BackendError("trajectories must be >= 1")
+        # one source of truth for the trajectory-knob rules: the same
+        # resolution the engine (and job_fingerprint) applies
+        resolve_trajectory_request(
+            self.trajectories, self.target_error, self.shots
+        )
+        if self.trajectory_batch is not None and self.trajectory_batch < 1:
+            raise BackendError("trajectory_batch must be >= 1")
 
     @property
     def deterministic(self) -> bool:
@@ -98,6 +114,24 @@ class CircuitJob:
         integer seeds qualify for the content-addressed store.
         """
         return isinstance(self.seed, (int, np.integer))
+
+
+def describe_job(job: CircuitJob) -> str:
+    """A short human identity for ``job`` in diagnostics.
+
+    Used when a fanned-out slice sub-job fails on a worker: the raised
+    error must name the *parent* job the slice belongs to, not just the
+    slice, or the caller cannot tell which of their submissions died.
+    """
+    circuit_name = getattr(job.circuit, "name", None) or "circuit"
+    parts = [
+        f"{circuit_name}[{job.circuit.num_qubits}q]",
+        f"shots={job.shots}",
+        f"seed={job.seed}",
+    ]
+    if job.tag is not None:
+        parts.append(f"tag={job.tag!r}")
+    return " ".join(parts)
 
 
 @dataclass
@@ -117,7 +151,9 @@ class SweepJob:
     with_readout_error: bool = True
     tag: object = None
     method: str = "auto"
-    trajectories: int | None = None
+    trajectories: int | str | None = None
+    target_error: float | None = None
+    trajectory_batch: int | None = None
     _resolved: list[CircuitJob] | None = field(
         default=None, repr=False, compare=False
     )
@@ -145,6 +181,8 @@ class SweepJob:
                     tag=self.tag,
                     method=self.method,
                     trajectories=self.trajectories,
+                    target_error=self.target_error,
+                    trajectory_batch=self.trajectory_batch,
                 )
                 for circuit, circuit_seed in zip(
                     self.circuits, self.resolved_seeds()
@@ -296,6 +334,18 @@ def job_fingerprint(
     name plus :func:`backend_config_digest`, as built by the service),
     the full circuit structure, shots, seed, noise flags and the
     simulation-method fields — everything the sampled counts depend on.
+    ``trajectory_batch`` is deliberately **excluded**: the batched
+    kernel is byte-identical to the sequential path at every batch
+    size, so batched and sequential runs of the same job may serve each
+    other's cached counts without ever aliasing a different result.
+    ``trajectories="auto"`` jobs *are* keyed (by the ``"auto"`` marker
+    plus ``target_error``): an adaptive run is a deterministic function
+    of the seed, and its resolved count depends on the target.  The
+    knobs are normalised through
+    :func:`~repro.backends.engine.resolve_trajectory_request` first, so
+    equivalent requests — ``trajectories=None`` vs the explicit default
+    count, bare ``target_error=`` vs ``trajectories="auto"`` — collapse
+    to one key and share cached results.
 
     ``resolved_method`` should carry the *concrete* method ``"auto"``
     resolves to (the service resolves it via
@@ -312,9 +362,13 @@ def job_fingerprint(
         fingerprint = circuit_fingerprint(job.circuit)
     except UnhashableKey:
         return None
+    fixed_count, target_error = resolve_trajectory_request(
+        job.trajectories, job.target_error, job.shots
+    )
+    trajectories = "auto" if fixed_count is None else int(fixed_count)
     payload = repr(
         (
-            "repro-service-v2",
+            "repro-service-v3",
             backend_key,
             fingerprint,
             int(job.shots),
@@ -322,7 +376,8 @@ def job_fingerprint(
             bool(job.with_noise),
             bool(job.with_readout_error),
             str(resolved_method or job.method),
-            None if job.trajectories is None else int(job.trajectories),
+            trajectories,
+            target_error,
         )
     ).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()

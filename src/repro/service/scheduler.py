@@ -26,13 +26,14 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.backends.engine import set_method_qubit_budget
-from repro.exceptions import BackendError
-from repro.service.jobs import CircuitJob
+from repro.exceptions import BackendError, ReproError
+from repro.service.jobs import CircuitJob, describe_job
 from repro.utils.cache import cache_stats_totals
 
 __all__ = [
     "ShardResult",
     "plan_shards",
+    "run_job_on_backend",
     "worker_backend_spec",
 ]
 
@@ -164,6 +165,40 @@ def _worker_cache_totals() -> dict:
     return totals
 
 
+def run_job_on_backend(backend, job: CircuitJob):
+    """Execute one job spec on a live backend; returns the experiment.
+
+    Shared by the pool workers and the inline (single-process) service
+    path.  Failures of a *slice sub-job* are re-raised naming the
+    parent job the slice was fanned out from: the budget/engine error
+    alone names only the method and cap, which is useless to a caller
+    who submitted whole jobs and never saw the slices.
+    """
+    try:
+        result = backend.run(
+            job.circuit,
+            shots=job.shots,
+            seeds=[job.seed],
+            with_noise=job.with_noise,
+            with_readout_error=job.with_readout_error,
+            method=job.method,
+            trajectories=job.trajectories,
+            target_error=job.target_error,
+            trajectory_slice=job.trajectory_slice,
+            trajectory_batch=job.trajectory_batch,
+        )
+    except ReproError as exc:
+        if job.trajectory_slice is None:
+            raise
+        slice_start, slice_stop = job.trajectory_slice
+        raise type(exc)(
+            f"{exc} (while running trajectory slice "
+            f"[{slice_start}, {slice_stop}) of parent job "
+            f"{describe_job(job)})"
+        ) from exc
+    return result.experiments[0]
+
+
 def _run_shard(
     indexed_jobs: Sequence[tuple[int, CircuitJob]],
 ) -> ShardResult:
@@ -174,17 +209,7 @@ def _run_shard(
     start = time.perf_counter()
     experiments = []
     for index, job in indexed_jobs:
-        result = backend.run(
-            job.circuit,
-            shots=job.shots,
-            seeds=[job.seed],
-            with_noise=job.with_noise,
-            with_readout_error=job.with_readout_error,
-            method=job.method,
-            trajectories=job.trajectories,
-            trajectory_slice=job.trajectory_slice,
-        )
-        experiments.append((index, result.experiments[0]))
+        experiments.append((index, run_job_on_backend(backend, job)))
     return ShardResult(
         experiments=experiments,
         worker_pid=os.getpid(),

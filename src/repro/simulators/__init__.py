@@ -10,7 +10,9 @@ from repro.simulators.sampler import (
 )
 from repro.simulators.trajectory import (
     TrajectoryProgram,
+    apply_matrix_to_stack,
     run_trajectories,
+    run_trajectories_adaptive,
     split_shots,
 )
 
@@ -20,7 +22,9 @@ __all__ = [
     "circuit_to_unitary",
     "DensityMatrix",
     "TrajectoryProgram",
+    "apply_matrix_to_stack",
     "run_trajectories",
+    "run_trajectories_adaptive",
     "split_shots",
     "counts_to_probabilities",
     "probabilities_to_counts",

@@ -1,0 +1,196 @@
+"""Cross-method equivalence matrix.
+
+One parametrized gauntlet every simulation back-end change must pass:
+randomized circuits x {noiseless, relaxation, readout} noise x
+{4, 8, 12} qubits, asserting
+
+* **byte-identity** where methods are exact for the same distribution —
+  density matrix vs statevector when no noise touches the state, and
+  batched vs sequential trajectory execution (every batch size, every
+  worker split) at fixed seeds;
+* **TV-bounded agreement** where the relation is statistical —
+  trajectory sampling against the exact density-matrix distribution.
+
+Density-matrix executions are capped at 8 qubits: a 12-qubit density
+matrix is 4^12 ~ 16.7M amplitudes and would dominate the tier-1 wall
+clock for no extra coverage — the 12-qubit cells exercise the 2^n
+methods, which is exactly the regime the trajectory back-end exists for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    FakeGuadalupe,
+    execute_circuit,
+    merge_trajectory_results,
+    select_method,
+)
+from repro.circuits import QuantumCircuit
+from repro.noise import NoiseModel, ReadoutError
+
+QUBITS = [4, 8, 12]
+NOISES = ["noiseless", "relaxation", "readout"]
+CIRCUIT_SEEDS = [0, 1]
+
+#: density-matrix executions stay at or below this size (cost control)
+DENSITY_CAP = 8
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return FakeGuadalupe()
+
+
+def random_circuit(num_qubits: int, seed: int) -> QuantumCircuit:
+    """A seeded random layered circuit on a line of ``num_qubits``."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, num_qubits)
+    for layer in range(3):
+        for q in range(num_qubits):
+            qc.rz(float(rng.uniform(0, 2 * np.pi)), q)
+            qc.sx(q)
+        offset = layer % 2
+        for q in range(offset, num_qubits - 1, 2):
+            qc.cx(q, q + 1)
+    for q in range(num_qubits):
+        qc.measure(q, q)
+    return qc
+
+
+def make_noise(kind: str, num_qubits: int) -> NoiseModel | None:
+    if kind == "noiseless":
+        return None
+    noise = NoiseModel(num_qubits)
+    if kind == "relaxation":
+        noise.set_relaxation(80_000.0, 60_000.0, 0.222)
+    elif kind == "readout":
+        noise.set_readout_error(ReadoutError.uniform(num_qubits, 0.03))
+    else:  # pragma: no cover - parametrization guard
+        raise ValueError(kind)
+    return noise
+
+
+def counts_of(result):
+    return dict(result.counts)
+
+
+def total_variation(counts_a, counts_b) -> float:
+    shots_a = sum(counts_a.values())
+    shots_b = sum(counts_b.values())
+    keys = set(counts_a) | set(counts_b)
+    return 0.5 * sum(
+        abs(counts_a.get(k, 0) / shots_a - counts_b.get(k, 0) / shots_b)
+        for k in keys
+    )
+
+
+@pytest.mark.parametrize("noise_kind", NOISES)
+@pytest.mark.parametrize("num_qubits", QUBITS)
+@pytest.mark.parametrize("circuit_seed", CIRCUIT_SEEDS)
+class TestMethodMatrix:
+    def test_auto_resolution(
+        self, backend, num_qubits, noise_kind, circuit_seed
+    ):
+        """The auto policy lands on the documented method per cell."""
+        circuit = random_circuit(num_qubits, circuit_seed)
+        noise = make_noise(noise_kind, backend.num_qubits)
+        resolved = select_method(circuit, backend.target, noise)
+        if noise_kind == "relaxation":
+            assert resolved == "density_matrix"
+        else:
+            # readout assignment error is classical: still pure-state
+            assert resolved == "statevector"
+
+    def test_trajectory_batched_byte_identical_to_sequential(
+        self, backend, num_qubits, noise_kind, circuit_seed
+    ):
+        """Every batch size reproduces the per-trajectory loop exactly."""
+        circuit = random_circuit(num_qubits, circuit_seed)
+        noise = make_noise(noise_kind, backend.num_qubits)
+        reference = execute_circuit(
+            circuit, backend.target, noise, shots=512, seed=7,
+            method="trajectory", trajectories=12, trajectory_batch=1,
+        )
+        for batch in (2, 5, 12, None):
+            run = execute_circuit(
+                circuit, backend.target, noise, shots=512, seed=7,
+                method="trajectory", trajectories=12,
+                trajectory_batch=batch,
+            )
+            assert counts_of(run) == counts_of(reference), (
+                f"trajectory_batch={batch} diverged from the sequential "
+                f"path at {num_qubits}q/{noise_kind}"
+            )
+            assert run.duration == reference.duration
+
+    def test_trajectory_worker_split_byte_identical(
+        self, backend, num_qubits, noise_kind, circuit_seed
+    ):
+        """Any slice partition + any batch size merges to the full run."""
+        circuit = random_circuit(num_qubits, circuit_seed)
+        noise = make_noise(noise_kind, backend.num_qubits)
+        full = execute_circuit(
+            circuit, backend.target, noise, shots=512, seed=3,
+            method="trajectory", trajectories=12,
+        )
+        parts = [
+            execute_circuit(
+                circuit, backend.target, noise, shots=512, seed=3,
+                method="trajectory", trajectories=12,
+                trajectory_slice=piece, trajectory_batch=batch,
+            )
+            for piece, batch in [((0, 5), 2), ((5, 6), 1), ((6, 12), None)]
+        ]
+        merged = merge_trajectory_results(parts)
+        assert counts_of(merged) == counts_of(full)
+        assert merged.metadata == full.metadata
+
+    def test_exact_methods_byte_identical(
+        self, backend, num_qubits, noise_kind, circuit_seed
+    ):
+        """Statevector == density matrix when no noise touches the state."""
+        if noise_kind == "relaxation":
+            pytest.skip("relaxation touches the state: not an exact pair")
+        if num_qubits > DENSITY_CAP:
+            pytest.skip("density-matrix cost capped at 8 qubits")
+        circuit = random_circuit(num_qubits, circuit_seed)
+        noise = make_noise(noise_kind, backend.num_qubits)
+        sv = execute_circuit(
+            circuit, backend.target, noise, shots=2048, seed=5,
+            method="statevector",
+        )
+        dm = execute_circuit(
+            circuit, backend.target, noise, shots=2048, seed=5,
+            method="density_matrix",
+        )
+        assert counts_of(sv) == counts_of(dm)
+        assert sv.duration == dm.duration
+
+    def test_trajectory_tv_bounded_against_density(
+        self, backend, num_qubits, noise_kind, circuit_seed
+    ):
+        """Trajectory sampling converges to the exact noisy distribution."""
+        if noise_kind != "relaxation":
+            pytest.skip("statistical check targets state-touching noise")
+        if num_qubits > DENSITY_CAP:
+            pytest.skip("density-matrix cost capped at 8 qubits")
+        if circuit_seed != CIRCUIT_SEEDS[0]:
+            pytest.skip("one statistical cell per size keeps tier-1 fast")
+        circuit = random_circuit(num_qubits, circuit_seed)
+        noise = make_noise(noise_kind, backend.num_qubits)
+        shots = 60_000
+        dm = execute_circuit(
+            circuit, backend.target, noise, shots=shots, seed=1,
+            method="density_matrix",
+        )
+        traj = execute_circuit(
+            circuit, backend.target, noise, shots=shots, seed=2,
+            method="trajectory", trajectories=256,
+        )
+        tv = total_variation(counts_of(dm), counts_of(traj))
+        # fixed seeds: a deterministic statistical check, not a flaky one
+        bound = 0.06 if num_qubits <= 4 else 0.15
+        assert tv < bound, (
+            f"TV(trajectory, density) = {tv:.4f} at {num_qubits}q"
+        )
