@@ -38,9 +38,16 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.backends import FakeGuadalupe, execute_circuit, execute_circuits
+from repro.backends import (
+    FakeGuadalupe,
+    Target,
+    execute_circuit,
+    execute_circuits,
+    select_method,
+)
 from repro.core import HybridGatePulseModel
 from repro.exceptions import BackendError
+from repro.noise import NoiseModel, ReadoutError
 from repro.problems import MaxCutProblem, benchmark_graph
 from repro.pulse.channels import DriveChannel
 from repro.pulse.instructions import Play
@@ -50,12 +57,13 @@ from repro.pulsesim.calibration import calibrate_rotation
 from repro.pulsesim.solver import drive_channel_propagator
 from repro.circuits import QuantumCircuit
 from repro.simulators.density_matrix import DensityMatrix
+from repro.transpiler import CouplingMap
 from repro.utils.cache import caching_disabled
 from repro.utils.linalg import apply_matrix_to_qubits
 from repro.utils.kernels import marginalize
 
 #: bump when entry shapes change so downstream tooling can tell
-SCHEMA = {"name": "bench_engine", "version": 3}
+SCHEMA = {"name": "bench_engine", "version": 4}
 
 RESULTS: dict[str, dict] = {"schema": dict(SCHEMA)}
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -538,6 +546,140 @@ def _run_trajectory_16q(trajectories):
     )
 
 
+# ---------------------------------------------------------------------------
+# stabilizer back-end (registry dispatch)
+# ---------------------------------------------------------------------------
+
+def _clifford_line_circuit(n, measured):
+    """An entangling Clifford layer stack on ``n`` line qubits."""
+    qc = QuantumCircuit(n, measured)
+    qc.h(0)
+    for i in range(n - 1):
+        qc.cx(i, i + 1)
+    for i in range(0, n, 3):
+        qc.s(i)
+    for i in range(1, n, 4):
+        qc.sx(i)
+    for i in range(measured):
+        qc.measure(i, i)
+    return qc
+
+
+def _pauli_noise(n):
+    noise = NoiseModel(n)
+    noise.add_depolarizing_error("cx", 0.02, 2)
+    for name in ("h", "s", "sx"):
+        noise.add_depolarizing_error(name, 0.002, 1)
+    noise.set_readout_error(ReadoutError.uniform(n, 0.02))
+    return noise
+
+
+def test_bench_stabilizer_vs_trajectory_20q_clifford():
+    _run_stabilizer_vs_trajectory(
+        num_qubits=20,
+        shots=4096,
+        trajectories=24,
+        min_speedup=10.0,
+    )
+
+
+def _run_stabilizer_vs_trajectory(
+    num_qubits, shots, trajectories, min_speedup
+):
+    """The registry-dispatch win: exact tableau vs 2^n trajectories.
+
+    A Clifford circuit with Pauli noise past every amplitude budget:
+    the registry resolves ``auto`` to the stabilizer tableau
+    (polynomial per shot) where the old dispatch could only offer
+    ``T * 2^n`` trajectory sampling.  Counts are cross-checked within
+    the cross-method TV bound before timing.
+    """
+    from repro.simulators import total_variation
+
+    target = Target(num_qubits, CouplingMap.from_line(num_qubits))
+    noise = _pauli_noise(num_qubits)
+    circuit = _clifford_line_circuit(num_qubits, measured=6)
+    resolved = select_method(circuit, target, noise)
+    assert resolved == "stabilizer", (
+        f"auto resolved {resolved!r}, not the tableau"
+    )
+    # the timed runs double as the cross-check samples — at 2^20
+    # amplitudes per trajectory, nobody wants to run them twice
+    latest = {}
+
+    def stabilizer():
+        latest["stabilizer"] = execute_circuit(
+            circuit, target, noise, shots=shots, seed=1,
+            method="stabilizer",
+        )
+
+    def trajectory():
+        latest["trajectory"] = execute_circuit(
+            circuit, target, noise, shots=shots, seed=2,
+            method="trajectory", trajectories=trajectories,
+        )
+
+    new = _best_of(stabilizer, repeats=2, number=1)
+    seed = _best_of(trajectory, repeats=1, number=1)
+    tv = total_variation(
+        dict(latest["stabilizer"].counts),
+        dict(latest["trajectory"].counts),
+    )
+    assert tv < 0.15, f"TV(stabilizer, trajectory) = {tv:.4f}"
+    row = _record(
+        f"stabilizer_vs_trajectory_{num_qubits}q_clifford",
+        seed,
+        new,
+        f"{num_qubits}-qubit Clifford + depolarizing/readout noise, "
+        f"{shots} shots vs {trajectories} trajectories; auto resolves "
+        f"to stabilizer; counts agree within TV {tv:.3f}",
+        method="stabilizer_vs_trajectory",
+    )
+    _flush()
+    assert row["speedup"] >= min_speedup, (
+        f"stabilizer tableau {row['speedup']}x < {min_speedup}x floor "
+        f"over trajectory sampling at {num_qubits} qubits"
+    )
+
+
+def _smoke_registry_dispatch():
+    """Quick-mode coverage of registry dispatch (no speedup floor).
+
+    Asserts the auto policy's decisions across the methods' home turfs
+    and that a 16-qubit Clifford+Pauli run lands on the tableau and
+    returns well-formed counts; small enough for CI containers.
+    """
+    backend = FakeGuadalupe()
+    noiseless = _clifford_line_circuit(10, measured=10)
+    assert select_method(noiseless, backend.target, None) == "statevector"
+    assert (
+        select_method(noiseless, backend.target, backend.noise_model)
+        == "density_matrix"
+    )
+    big_noisy = _noisy_sweep_circuit(16, 0.4)
+    assert (
+        select_method(big_noisy, backend.target, backend.noise_model)
+        == "trajectory"
+    )
+    target = Target(16, CouplingMap.from_line(16))
+    noise = _pauli_noise(16)
+    clifford = _clifford_line_circuit(16, measured=6)
+    assert select_method(clifford, target, noise) == "stabilizer"
+    t0 = time.perf_counter()
+    result = execute_circuit(clifford, target, noise, shots=256, seed=1)
+    wall = time.perf_counter() - t0
+    assert result.metadata["method"] == "stabilizer"
+    assert sum(result.counts.values()) == 256
+    RESULTS["registry_dispatch_smoke"] = {
+        "method": "stabilizer",
+        "stabilizer_16q_wall_ms": round(wall * 1e3, 2),
+        "note": "auto-dispatch decisions asserted per method; 16q "
+        "Clifford+Pauli executes on the tableau",
+    }
+    _flush()
+    print(f"registry_dispatch_smoke: stabilizer 16q {wall * 1e3:.1f} ms")
+
+
 def main(argv=None):
     import argparse
 
@@ -569,6 +711,7 @@ def main(argv=None):
         test_bench_kraus_channel()
         test_bench_marginalize()
         _run_trajectory_16q(trajectories=4)
+        _smoke_registry_dispatch()
         # relaxed floor: CI containers are slow/noisy, the tracked 3x
         # assertion runs in the full mode
         _run_batched_vs_sequential(
@@ -588,6 +731,7 @@ def main(argv=None):
     test_bench_trajectory_batched_vs_sequential_10q_sweep()
     test_bench_adaptive_allocation_10q()
     test_bench_trajectory_16q_beyond_density_wall()
+    test_bench_stabilizer_vs_trajectory_20q_clifford()
     print(f"wrote {OUTPUT}")
 
 

@@ -11,34 +11,48 @@ assignment-error transform, then multinomial shot sampling.
 Only the qubits the circuit actually touches enter the simulation, so
 27-qubit devices cost no more than the 6-8 qubits a benchmark uses.
 
-Three back-ends share that front-end, selected by ``method=``:
+Back-ends share that front-end through the **simulation-method
+registry** (:mod:`repro.simulators.registry`): each registered
+:class:`~repro.simulators.registry.MethodDescriptor` carries a
+capability predicate, a cost estimator, a qubit budget and an execute
+entry point.  This module registers the four built-ins on import:
 
 * ``"density_matrix"`` — exact mixed-state evolution, ``4**n`` memory;
-  the default for noisy circuits within its qubit budget;
+  handles every noise process this library models;
 * ``"statevector"`` — pure-state evolution, ``2**n`` memory; exact for
   circuits whose noise never touches the state (readout assignment
   error is classical and still applied);
+* ``"stabilizer"`` — CHP-style Clifford tableau
+  (:mod:`repro.simulators.stabilizer`), polynomial memory; exact for
+  Clifford circuits whose noise is a Pauli mixture (plus classical
+  readout error) — per-shot noise/measurement sampling, so 20+-qubit
+  Clifford workloads run exactly instead of via ``2**n`` trajectories;
 * ``"trajectory"`` — Monte Carlo stochastic-wavefunction sampling
   (:mod:`repro.simulators.trajectory`): ``2**n`` per trajectory,
-  batched ``(2**n, B)`` kernel, embarrassingly parallel, statistically
-  equivalent for Kraus/stochastic noise — the path past the
-  density-matrix wall.  ``trajectories="auto"`` (with ``target_error=``)
-  switches it to adaptive allocation: trajectories run in rounds until
-  the counts-distribution standard error meets the target;
-* ``"auto"`` (default) picks the cheapest of the three that is exact or
-  statistically equivalent for the circuit's noise content
-  (:func:`select_method`).
+  batched ``(B, 2**n)`` kernel, embarrassingly parallel, statistically
+  equivalent for Kraus/stochastic noise — the fallback past the
+  density-matrix wall for non-Pauli noise.  ``trajectories="auto"``
+  (with ``target_error=``) switches it to adaptive allocation.
+
+``method="auto"`` (the default) resolves per circuit through
+:func:`select_method`: the cheapest registered method whose predicate
+accepts the circuit and whose budget admits it, exact methods before
+statistical ones, ranked by the registry cost model.  New back-ends
+registered through :func:`repro.simulators.registry.register_method`
+participate with no engine changes.
 
 Per-method active-qubit budgets are configurable
-(:func:`set_method_qubit_budget`); exceeding one raises a
-:class:`~repro.exceptions.BackendError` that names the method in use
-and the escape hatch.
+(:func:`set_method_qubit_budget`; RAM-derived caps via
+:func:`autodetect_method_budgets`); exceeding one raises a
+:class:`~repro.exceptions.BackendError` naming the method in use, its
+escape hatch and the registered alternatives.
 """
 
 from __future__ import annotations
 
 import math
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -49,6 +63,30 @@ from repro.circuits.gates import Barrier, Delay, Instruction, Measure, PulseGate
 from repro.exceptions import BackendError
 from repro.noise.model import NoiseModel
 from repro.simulators.density_matrix import DensityMatrix
+from repro.simulators.registry import (
+    AUTO_METHOD,
+    MethodDescriptor,
+    adopt_method_budgets,
+    autodetect_method_budgets,
+    available_memory_bytes,
+    check_method_name,
+    check_qubit_budget,
+    default_method_qubit_budgets,
+    method_descriptor,
+    method_names,
+    method_qubit_budget,
+    method_qubit_budgets,
+    rank_methods,
+    register_method,
+    set_method_qubit_budget,
+)
+from repro.simulators.stabilizer import (
+    MAX_MEASURED_QUBITS,
+    StabilizerProgram,
+    clifford_conjugation_table,
+    pauli_channel_terms,
+    run_stabilizer_program,
+)
 from repro.simulators.statevector import Statevector
 from repro.simulators.trajectory import (
     TrajectoryProgram,
@@ -61,20 +99,6 @@ from repro.utils.kernels import marginalize
 from repro.utils.rng import as_generator, derive_seed
 
 UnitaryProvider = Callable[[Instruction, tuple[int, ...]], np.ndarray]
-
-#: user-facing method names (``"auto"`` resolves to one of the others)
-METHODS = ("auto", "density_matrix", "statevector", "trajectory")
-
-#: shipped active-qubit budgets per concrete method.  The density-matrix
-#: budget is the historical 14-qubit wall (4**14 complex amplitudes);
-#: the pure-state methods go much further at 2**n.
-DEFAULT_METHOD_QUBIT_BUDGETS = {
-    "density_matrix": 14,
-    "statevector": 26,
-    "trajectory": 26,
-}
-
-_method_qubit_budgets = dict(DEFAULT_METHOD_QUBIT_BUDGETS)
 
 #: default trajectory count when ``trajectories`` is unspecified: enough
 #: for percent-level statistics without drowning the 2**n advantage
@@ -89,48 +113,14 @@ ADAPTIVE_ROUND_TRAJECTORIES = 32
 #: hard ceiling on adaptive trajectory growth (also capped by shots)
 ADAPTIVE_MAX_TRAJECTORIES = 1024
 
-_ESCAPE_HATCHES = {
-    "density_matrix": (
-        '; pass method="trajectory" (stochastic noise) or '
-        'method="statevector" (noiseless) to break the 4^n wall, or '
-        "raise the cap with set_method_qubit_budget"
-    ),
-    "statevector": "; raise the cap with set_method_qubit_budget",
-    "trajectory": "; raise the cap with set_method_qubit_budget",
-}
 
-
-def method_qubit_budget(method: str) -> int:
-    """The active-qubit budget currently enforced for ``method``."""
-    _check_method_name(method, concrete=True)
-    return _method_qubit_budgets[method]
-
-
-def method_qubit_budgets() -> dict[str, int]:
-    """Snapshot (a copy) of every budget currently in force.
-
-    The execution service ships this snapshot to its pool workers so
-    ``auto`` resolves identically in every process even after
-    :func:`set_method_qubit_budget` calls in the parent.
-    """
-    return dict(_method_qubit_budgets)
-
-
-def set_method_qubit_budget(method: str, max_qubits: int | None) -> int:
-    """Set (or with ``None`` reset) a method's active-qubit budget.
-
-    Returns the budget now in force.  The budget guards against
-    accidentally materialising a state that cannot fit in memory —
-    raise it deliberately on machines that can afford more.
-    """
-    _check_method_name(method, concrete=True)
-    if max_qubits is None:
-        _method_qubit_budgets[method] = DEFAULT_METHOD_QUBIT_BUDGETS[method]
-    else:
-        if int(max_qubits) < 1:
-            raise BackendError("qubit budget must be >= 1")
-        _method_qubit_budgets[method] = int(max_qubits)
-    return _method_qubit_budgets[method]
+def __getattr__(name: str):
+    # computed module attributes, always in sync with the live registry
+    if name == "METHODS":
+        return method_names(include_auto=True)
+    if name == "DEFAULT_METHOD_QUBIT_BUDGETS":
+        return default_method_qubit_budgets()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def default_trajectory_count(shots: int) -> int:
@@ -178,23 +168,6 @@ def resolve_trajectory_request(
     if total < 1:
         raise BackendError("trajectories must be >= 1")
     return total, None
-
-
-def _check_method_name(method: str, concrete: bool = False) -> None:
-    allowed = METHODS[1:] if concrete else METHODS
-    if method not in allowed:
-        raise BackendError(
-            f"unknown simulation method {method!r}; choose from {allowed}"
-        )
-
-
-def _check_qubit_budget(method: str, num_active: int) -> None:
-    budget = _method_qubit_budgets[method]
-    if num_active > budget:
-        raise BackendError(
-            f"{num_active} active qubits exceed the {budget}-qubit "
-            f"{method} simulator budget{_ESCAPE_HATCHES[method]}"
-        )
 
 
 class _RunContext:
@@ -310,9 +283,16 @@ def _resolve_unitary(
 # ---------------------------------------------------------------------------
 
 class _CircuitPlan:
-    """Method-agnostic execution plan for one circuit."""
+    """Method-agnostic execution plan for one circuit.
+
+    Carries the circuit and target it was derived from: the registry's
+    capability predicates and cost estimators receive the plan (plus
+    the noise model) and need to inspect instruction content.
+    """
 
     __slots__ = (
+        "circuit",
+        "target",
         "measured_qubits",
         "measured_clbits",
         "active_list",
@@ -324,6 +304,8 @@ class _CircuitPlan:
     )
 
     def __init__(self, circuit: QuantumCircuit, target: Target) -> None:
+        self.circuit = circuit
+        self.target = target
         measures = [
             inst
             for inst in circuit.instructions
@@ -401,30 +383,70 @@ def select_method(
     target: Target,
     noise_model: NoiseModel | None = None,
     method: str = "auto",
+    _plan: "_CircuitPlan | None" = None,
 ) -> str:
     """Resolve ``method`` into a concrete back-end for this circuit.
 
-    The ``auto`` policy picks the cheapest exact-or-statistically-
-    equivalent method: ``statevector`` when no noise touches the state
-    (2**n, exact), else ``density_matrix`` within its qubit budget
-    (4**n, exact), else ``trajectory`` (T * 2**n, statistically
-    equivalent for the stochastic noise this library models).
+    The ``auto`` policy asks the simulation-method registry
+    (:func:`repro.simulators.registry.rank_methods`) for the cheapest
+    registered method whose capability predicate accepts the
+    ``(circuit, noise_model)`` pair and whose qubit budget admits it —
+    exact methods before statistical ones, cost-model order within a
+    tier.  With the built-in descriptors that reproduces the historical
+    policy — ``statevector`` when no noise touches the state,
+    ``density_matrix`` within its budget, ``trajectory`` past it — and
+    adds ``stabilizer`` for Clifford circuits with Pauli noise, where
+    the tableau beats every ``2**n`` method.  When no budget admits the
+    circuit, the cheapest supporting method is returned so the budget
+    error raised downstream names the most plausible cap to raise.
     """
-    _check_method_name(method)
-    if method != "auto":
+    check_method_name(method)
+    if method != AUTO_METHOD:
         return method
-    if not _noise_touches_state(circuit, noise_model):
-        return "statevector"
-    if len(_active_qubits(circuit)) <= _method_qubit_budgets[
-        "density_matrix"
-    ]:
-        return "density_matrix"
-    return "trajectory"
+    plan = _plan if _plan is not None else _CircuitPlan(circuit, target)
+    return rank_methods(plan, noise_model)[0].name
 
 
 # ---------------------------------------------------------------------------
 # execution
 # ---------------------------------------------------------------------------
+
+@dataclass
+class _ExecutionRequest:
+    """Everything one resolved method's executor may need.
+
+    Registry ``execute`` entry points receive ``(plan, request)``;
+    each executor reads the fields relevant to its method and ignores
+    the rest (the trajectory knobs mean nothing to the exact methods,
+    the unitary provider nothing to the stabilizer tableau...).
+    """
+
+    __slots__ = (
+        "noise_model",
+        "shots",
+        "seed",
+        "unitary_provider",
+        "readout_relaxation_fraction",
+        "with_readout_error",
+        "trajectories",
+        "target_error",
+        "trajectory_slice",
+        "trajectory_batch",
+        "context",
+    )
+
+    noise_model: NoiseModel | None
+    shots: int
+    seed: int | None | np.random.Generator
+    unitary_provider: UnitaryProvider | None
+    readout_relaxation_fraction: float
+    with_readout_error: bool
+    trajectories: int | str | None
+    target_error: float | None
+    trajectory_slice: tuple[int, int] | None
+    trajectory_batch: int | None
+    context: _RunContext
+
 
 def execute_circuit(
     circuit: QuantumCircuit,
@@ -467,7 +489,8 @@ def execute_circuit(
         raise BackendError("trajectory_batch must be >= 1")
     context = _context if _context is not None else _RunContext(target)
     plan = _CircuitPlan(circuit, target)
-    resolved = select_method(circuit, target, noise_model, method)
+    resolved = select_method(circuit, target, noise_model, method, _plan=plan)
+    descriptor = method_descriptor(resolved)
     if trajectory_slice is not None and resolved != "trajectory":
         # a sliced sub-job running the full exact path would return
         # full-shot counts per slice and the merge would multiply shots
@@ -475,7 +498,9 @@ def execute_circuit(
             f"trajectory_slice given but the resolved method is "
             f"{resolved!r}; slices only apply to method='trajectory'"
         )
-    _check_qubit_budget(resolved, plan.num_local)
+    check_qubit_budget(
+        resolved, plan.num_local, plan=plan, noise_model=noise_model
+    )
 
     if not plan.measured_qubits:
         return ExperimentResult(
@@ -493,10 +518,9 @@ def execute_circuit(
         # values eagerly so typos don't ride along silently
         resolve_trajectory_request(trajectories, target_error, shots)
 
-    if resolved == "trajectory":
-        return _execute_trajectory(
-            plan,
-            circuit,
+    return descriptor.execute(
+        plan,
+        _ExecutionRequest(
             noise_model=noise_model,
             shots=shots,
             seed=seed,
@@ -508,20 +532,34 @@ def execute_circuit(
             trajectory_slice=trajectory_slice,
             trajectory_batch=trajectory_batch,
             context=context,
-            target=target,
-        )
+        ),
+    )
 
-    rng = as_generator(seed)
+
+def _execute_exact(
+    plan: _CircuitPlan,
+    request: _ExecutionRequest,
+    resolved: str,
+) -> ExperimentResult:
+    """Executor of the exact amplitude back-ends.
+
+    ``statevector`` deliberately drops every channel that would act on
+    the state (``effective_noise=None``) — that is the noiseless escape
+    hatch, not an approximation; classical readout error still applies.
+    """
+    noise_model = request.noise_model
+    context = request.context
+    rng = as_generator(request.seed)
     effective_noise = noise_model if resolved == "density_matrix" else None
     state, total_duration = _evolve_exact(
         plan,
-        circuit,
+        plan.circuit,
         resolved,
         effective_noise,
         rng,
         context,
-        unitary_provider,
-        target,
+        request.unitary_provider,
+        plan.target,
     )
 
     measure_duration = max(
@@ -529,9 +567,11 @@ def execute_circuit(
     )
     if (
         effective_noise is not None
-        and readout_relaxation_fraction > 0
+        and request.readout_relaxation_fraction > 0
     ):
-        effective = int(measure_duration * readout_relaxation_fraction)
+        effective = int(
+            measure_duration * request.readout_relaxation_fraction
+        )
         for q in plan.measured_qubits:
             channel = effective_noise.relaxation_channel(q, effective)
             if channel is not None:
@@ -546,13 +586,13 @@ def execute_circuit(
     )
     if (
         noise_model is not None
-        and with_readout_error
+        and request.with_readout_error
         and noise_model.readout_error is not None
     ):
         readout = noise_model.readout_subset(plan.measured_qubits)
         marginal = readout.apply_to_probabilities(marginal)
 
-    counts_raw = rng.multinomial(shots, marginal / marginal.sum())
+    counts_raw = rng.multinomial(request.shots, marginal / marginal.sum())
     observed = np.flatnonzero(counts_raw)
     counts = _assemble_counts(
         observed, counts_raw[observed], plan.measured_clbits
@@ -562,6 +602,14 @@ def execute_circuit(
         total_duration,
         metadata=_result_metadata(plan, resolved),
     )
+
+
+def _execute_density_matrix(plan, request) -> ExperimentResult:
+    return _execute_exact(plan, request, "density_matrix")
+
+
+def _execute_statevector(plan, request) -> ExperimentResult:
+    return _execute_exact(plan, request, "statevector")
 
 
 def _evolve_exact(
@@ -737,24 +785,26 @@ def _compile_trajectory_program(
     return program, total_duration
 
 
+def _measured_readout(plan: _CircuitPlan, request: _ExecutionRequest):
+    """The measured-qubit readout model for sampling back-ends, if any."""
+    noise_model = request.noise_model
+    if (
+        noise_model is not None
+        and request.with_readout_error
+        and noise_model.readout_error is not None
+    ):
+        return noise_model.readout_subset(plan.measured_qubits)
+    return None
+
+
 def _execute_trajectory(
-    plan: _CircuitPlan,
-    circuit: QuantumCircuit,
-    noise_model: NoiseModel | None,
-    shots: int,
-    seed: int | None | np.random.Generator,
-    unitary_provider: UnitaryProvider | None,
-    readout_relaxation_fraction: float,
-    with_readout_error: bool,
-    trajectories: int | str | None,
-    target_error: float | None,
-    trajectory_slice: tuple[int, int] | None,
-    trajectory_batch: int | None,
-    context: _RunContext,
-    target: Target,
+    plan: _CircuitPlan, request: _ExecutionRequest
 ) -> ExperimentResult:
+    noise_model = request.noise_model
+    shots = request.shots
+    trajectory_slice = request.trajectory_slice
     total, resolved_target_error = resolve_trajectory_request(
-        trajectories, target_error, shots
+        request.trajectories, request.target_error, shots
     )
     if total is None and trajectory_slice is not None:
         raise BackendError(
@@ -764,33 +814,27 @@ def _execute_trajectory(
         )
     program, total_duration = _compile_trajectory_program(
         plan,
-        circuit,
+        plan.circuit,
         noise_model,
-        unitary_provider,
-        readout_relaxation_fraction,
-        context,
-        target,
+        request.unitary_provider,
+        request.readout_relaxation_fraction,
+        request.context,
+        plan.target,
     )
-    readout = None
-    if (
-        noise_model is not None
-        and with_readout_error
-        and noise_model.readout_error is not None
-    ):
-        readout = noise_model.readout_subset(plan.measured_qubits)
+    readout = _measured_readout(plan, request)
     measured_positions = [plan.local[q] for q in plan.measured_qubits]
     adaptive_info = None
     if total is None:
         outcome_counts, adaptive_info = run_trajectories_adaptive(
             program,
             shots,
-            seed,
+            request.seed,
             measured_positions=measured_positions,
             readout=readout,
             target_error=resolved_target_error,
             round_size=ADAPTIVE_ROUND_TRAJECTORIES,
             max_trajectories=ADAPTIVE_MAX_TRAJECTORIES,
-            batch_size=trajectory_batch,
+            batch_size=request.trajectory_batch,
         )
         total = adaptive_info["trajectories"]
     else:
@@ -798,11 +842,11 @@ def _execute_trajectory(
             program,
             shots,
             total,
-            seed,
+            request.seed,
             measured_positions=measured_positions,
             readout=readout,
             trajectory_slice=trajectory_slice,
-            batch_size=trajectory_batch,
+            batch_size=request.trajectory_batch,
         )
     observed = sorted(outcome_counts)
     counts = _assemble_counts(
@@ -854,6 +898,162 @@ def merge_trajectory_results(
         parts[0].duration,
         metadata=metadata,
     )
+
+
+# ---------------------------------------------------------------------------
+# stabilizer back-end
+# ---------------------------------------------------------------------------
+
+def _stabilizer_channel(
+    program: StabilizerProgram, channel, qubits: Sequence[int]
+) -> None:
+    """Lower one Kraus channel into the program, or fail diagnosably."""
+    if channel.num_qubits != len(qubits):
+        # the amplitude back-ends raise for this misconfiguration too;
+        # silently acting on a qubit subset would be wrong physics
+        raise BackendError(
+            f"{channel.num_qubits}-qubit noise channel "
+            f"{channel.name!r} attached to a {len(qubits)}-qubit "
+            f"operation"
+        )
+    terms = pauli_channel_terms(channel.kraus_ops)
+    if terms is None:
+        raise BackendError(
+            f"noise channel {channel.name!r} is not a Pauli mixture; "
+            f"the stabilizer method supports Pauli channels (plus "
+            f"classical readout error) only — method='auto' falls back "
+            f"to trajectory for this noise"
+        )
+    program.channel(terms, qubits)
+
+
+def _compile_stabilizer_program(
+    plan: _CircuitPlan,
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel | None,
+    unitary_provider: UnitaryProvider | None,
+    readout_relaxation_fraction: float,
+    context: _RunContext,
+    target: Target,
+) -> tuple[StabilizerProgram, int]:
+    """Lower the circuit + noise model onto the Clifford tableau.
+
+    Mirrors the trajectory compile step for step; every gate must
+    conjugate Paulis to Paulis and every channel must be a Pauli
+    mixture, otherwise a :class:`BackendError` names the offending
+    piece (``auto`` dispatch never gets here — its capability predicate
+    already rejected the circuit — so these errors only reach callers
+    who pinned ``method="stabilizer"`` explicitly).
+    """
+    program = StabilizerProgram(plan.num_local)
+    zz_rate = (
+        getattr(noise_model, "zz_crosstalk_ghz", 0.0) if noise_model else 0.0
+    )
+    total_duration = 0
+    for layer, duration in zip(plan.layers, plan.layer_durations):
+        for idx in layer:
+            inst = circuit.instructions[idx]
+            op = inst.operation
+            if isinstance(op, Delay):
+                continue
+            qubits = [plan.local[q] for q in inst.qubits]
+            matrix = _resolve_unitary(op, inst.qubits, unitary_provider)
+            table = clifford_conjugation_table(matrix)
+            if table is None:
+                raise BackendError(
+                    f"{op.name!r} on qubits {tuple(inst.qubits)} is not "
+                    f"a Clifford operation; method='stabilizer' "
+                    f"simulates Clifford circuits only"
+                )
+            program.clifford(table, qubits)
+            if noise_model is not None:
+                if isinstance(op, PulseGate):
+                    channel = noise_model.pulse_gate_channel(
+                        op.num_qubits, _operation_duration(inst, target)
+                    )
+                    if channel is not None:
+                        _stabilizer_channel(program, channel, qubits)
+                    if not getattr(op, "calibrated", False) and (
+                        noise_model.pulse_jitter_local > 0
+                        or (
+                            noise_model.pulse_jitter_entangling > 0
+                            and op.num_qubits == 2
+                        )
+                    ):
+                        raise BackendError(
+                            "pulse-transfer jitter is a coherent kick, "
+                            "not a Pauli channel; method='stabilizer' "
+                            "cannot model it"
+                        )
+                else:
+                    for channel in noise_model.gate_channels(
+                        op.name, inst.qubits
+                    ):
+                        _stabilizer_channel(program, channel, qubits)
+        if noise_model is not None and duration > 0:
+            for phys in plan.active_list:
+                channel = noise_model.relaxation_channel(phys, duration)
+                if channel is not None:
+                    _stabilizer_channel(
+                        program, channel, [plan.local[phys]]
+                    )
+            if zz_rate:
+                angle = 2 * math.pi * zz_rate * duration * target.dt
+                rzz = context.zz_unitary(angle)
+                table = clifford_conjugation_table(rzz)
+                if table is None:
+                    raise BackendError(
+                        f"ZZ-crosstalk rotation of {angle:.6f} rad is "
+                        f"not a Clifford operation; method='stabilizer' "
+                        f"cannot model continuous crosstalk"
+                    )
+                for la, lb, _a, _b in plan.coupled_local_pairs:
+                    program.clifford(table, [la, lb])
+        total_duration += duration
+
+    measure_duration = max(
+        context.measure_duration(q) for q in plan.measured_qubits
+    )
+    if noise_model is not None and readout_relaxation_fraction > 0:
+        effective = int(measure_duration * readout_relaxation_fraction)
+        for q in plan.measured_qubits:
+            channel = noise_model.relaxation_channel(q, effective)
+            if channel is not None:
+                _stabilizer_channel(program, channel, [plan.local[q]])
+    total_duration += measure_duration
+    return program, total_duration
+
+
+def _execute_stabilizer(
+    plan: _CircuitPlan, request: _ExecutionRequest
+) -> ExperimentResult:
+    program, total_duration = _compile_stabilizer_program(
+        plan,
+        plan.circuit,
+        request.noise_model,
+        request.unitary_provider,
+        request.readout_relaxation_fraction,
+        request.context,
+        plan.target,
+    )
+    outcome_counts, per_shot = run_stabilizer_program(
+        program,
+        request.shots,
+        request.seed,
+        [plan.local[q] for q in plan.measured_qubits],
+        readout=_measured_readout(plan, request),
+    )
+    observed = sorted(outcome_counts)
+    counts = _assemble_counts(
+        np.array(observed, dtype=np.int64),
+        np.array([outcome_counts[i] for i in observed], dtype=np.int64),
+        plan.measured_clbits,
+    )
+    metadata = _result_metadata(plan, "stabilizer")
+    # True when counts came from per-shot noise/measurement sampling
+    # (exact i.i.d. draws); False for the single-multinomial exact path
+    metadata["per_shot_sampling"] = per_shot
+    return ExperimentResult(counts, total_duration, metadata=metadata)
 
 
 # ---------------------------------------------------------------------------
@@ -990,3 +1190,138 @@ def execute_circuits(
         )
         for circuit, circuit_seed in zip(circuits, seeds)
     ]
+
+
+# ---------------------------------------------------------------------------
+# built-in method registration
+# ---------------------------------------------------------------------------
+
+def _supports_any(plan: _CircuitPlan, noise_model) -> bool:
+    """Density matrix and trajectory handle every modelled noise."""
+    return True
+
+
+def _supports_statevector(plan: _CircuitPlan, noise_model) -> bool:
+    return not _noise_touches_state(plan.circuit, noise_model)
+
+
+def _supports_stabilizer(plan: _CircuitPlan, noise_model) -> bool:
+    """Clifford circuit + Pauli-mixture noise (readout error is fine).
+
+    Pulse gates are rejected outright: continuous pulse propagators are
+    never exactly Clifford, and probing them here would mean simulating
+    the pulse.  The per-gate checks are cached by matrix content
+    (:func:`~repro.simulators.stabilizer.clifford_conjugation_table`),
+    so repeated dispatch over a sweep re-pays nothing.
+    """
+    if len(plan.measured_qubits) > MAX_MEASURED_QUBITS:
+        # outcome indices pack into int64 counts downstream
+        return False
+    if noise_model is not None and (
+        noise_model.has_relaxation or noise_model.zz_crosstalk_ghz
+    ):
+        return False
+    for inst in plan.circuit.instructions:
+        op = inst.operation
+        if isinstance(op, (Barrier, Measure, Delay)):
+            continue
+        if isinstance(op, PulseGate):
+            return False
+        cached = getattr(op, "unitary", None)
+        try:
+            matrix = (
+                np.asarray(cached, dtype=complex)
+                if cached is not None
+                else op.matrix()
+            )
+        except Exception:
+            return False
+        if clifford_conjugation_table(matrix) is None:
+            return False
+        if noise_model is not None:
+            for channel in noise_model.gate_channels(op.name, inst.qubits):
+                if channel.num_qubits != len(inst.qubits):
+                    # misconfigured width: let an amplitude back-end
+                    # raise its loud error instead of running silently
+                    # wrong physics here
+                    return False
+                if pauli_channel_terms(channel.kraus_ops) is None:
+                    return False
+    return True
+
+
+#: nominal per-(qubit^2) work the cost model charges the tableau's
+#: per-shot Python replay loop.  The 2**n amplitude kernels are
+#: vectorised and cache-friendly, so per "element" they are orders of
+#: magnitude cheaper than tableau row updates; this constant is
+#: calibrated so the pure-state path keeps winning noiseless Clifford
+#: circuits up to its 26-qubit budget (2**26 < _STABILIZER_SHOT_WORK *
+#: 26**2) while the tableau takes over from the density matrix at ~13
+#: qubits and owns everything past the exact-method budgets.
+_STABILIZER_SHOT_WORK = 1 << 17
+
+
+def _cost_statevector(plan: _CircuitPlan, noise_model) -> float:
+    return float(1 << plan.num_local)
+
+
+def _cost_density_matrix(plan: _CircuitPlan, noise_model) -> float:
+    return float(1 << (2 * plan.num_local))
+
+
+def _cost_trajectory(plan: _CircuitPlan, noise_model) -> float:
+    return float(DEFAULT_TRAJECTORIES * (1 << plan.num_local))
+
+
+def _cost_stabilizer(plan: _CircuitPlan, noise_model) -> float:
+    return float(_STABILIZER_SHOT_WORK * max(1, plan.num_local) ** 2)
+
+
+register_method(MethodDescriptor(
+    name="density_matrix",
+    supports=_supports_any,
+    cost=_cost_density_matrix,
+    execute=_execute_density_matrix,
+    default_qubit_budget=14,
+    escape_hatch=(
+        "exact mixed-state evolution holds the full 4^n operator — "
+        'stochastic noise is statistically equivalent on '
+        'method="trajectory", Clifford circuits with Pauli noise are '
+        'exact on method="stabilizer", noiseless circuits on '
+        'method="statevector"'
+    ),
+    state_bytes=lambda num_qubits: 16 << (2 * num_qubits),
+))
+
+register_method(MethodDescriptor(
+    name="statevector",
+    supports=_supports_statevector,
+    cost=_cost_statevector,
+    execute=_execute_statevector,
+    default_qubit_budget=26,
+    escape_hatch="pure states scale 2^n",
+    state_bytes=lambda num_qubits: 16 << num_qubits,
+))
+
+register_method(MethodDescriptor(
+    name="trajectory",
+    supports=_supports_any,
+    cost=_cost_trajectory,
+    execute=_execute_trajectory,
+    default_qubit_budget=26,
+    escape_hatch="each trajectory holds a 2^n statevector",
+    statistical=True,
+    state_bytes=lambda num_qubits: 16 << num_qubits,
+))
+
+register_method(MethodDescriptor(
+    name="stabilizer",
+    supports=_supports_stabilizer,
+    cost=_cost_stabilizer,
+    execute=_execute_stabilizer,
+    default_qubit_budget=256,
+    escape_hatch=(
+        "the tableau is polynomial in qubits; this cap only guards "
+        "pathological registers"
+    ),
+))

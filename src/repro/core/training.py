@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.backends.backend import SimulatedBackend
+from repro.backends.engine import check_method_name
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.models import QAOAModelBase
 from repro.exceptions import BackendError
@@ -61,6 +62,11 @@ class ExecutionPipeline:
     target_error: float | None = None
     _mitigator_cache: dict = field(default_factory=dict, repr=False)
     _pulse_pass: PulseEfficientRZZ | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        # fail at construction, not hundreds of evaluations in: the
+        # registry knows every valid method (plugins included)
+        check_method_name(self.method)
 
     def resolved_layout(self, num_qubits: int) -> list[int]:
         layout = (

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.backends.backend import SimulatedBackend
+from repro.backends.engine import check_method_name
 from repro.core.duration_search import (
     DurationSearchResult,
     binary_search_mixer_duration,
@@ -80,7 +81,9 @@ class HybridWorkflow:
         #: results are seed-identical for any value (SERVICE.md)
         self.jobs = jobs
         #: simulation method + trajectory allocation for every stage's
-        #: executions (PERFORMANCE.md "Simulation methods")
+        #: executions (PERFORMANCE.md "Simulation methods"); any method
+        #: registered with the simulation-method registry is valid
+        check_method_name(method)
         self.method = method
         self.trajectories = trajectories
         self.target_error = target_error

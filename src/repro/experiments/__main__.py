@@ -6,7 +6,7 @@ import argparse
 import sys
 import time
 
-from repro.backends.engine import METHODS
+from repro.backends.engine import method_names
 from repro.experiments import (
     ExperimentConfig,
     convergence,
@@ -66,10 +66,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--method",
-        choices=METHODS,
+        # the registry is the source of truth: a back-end registered at
+        # import time (plugins included) is immediately a valid choice
+        choices=method_names(include_auto=True),
         default="auto",
-        help="simulation method: auto picks the cheapest exact-or-"
-        "statistically-equivalent back-end per circuit "
+        help="simulation method: auto picks the cheapest registered "
+        "back-end whose capability predicate accepts the circuit "
         "(see PERFORMANCE.md)",
     )
     parser.add_argument(

@@ -28,7 +28,8 @@ class ExperimentConfig:
     #: results are seed-identical for any value (see SERVICE.md)
     jobs: int = 1
     #: simulation method for every circuit execution (``--method``);
-    #: "auto" dispatches per circuit (PERFORMANCE.md)
+    #: any method registered with the simulation-method registry, or
+    #: "auto" to cost-rank them per circuit (PERFORMANCE.md)
     method: str = "auto"
     #: trajectory count for the trajectory back-end
     #: (``--trajectories N`` pins it, ``--trajectories auto`` adapts it)

@@ -30,11 +30,19 @@ class QuasiDistribution(dict):
         Walk the entries smallest-first; any entry that cannot be made
         non-negative by the accumulated correction is dropped and its
         mass spread uniformly over the survivors.
+
+        A quasi-distribution whose values sum to zero or less cannot be
+        renormalised for that walk (M3 outputs sum to ~1, but heavily
+        negative inputs are representable); those fall back to the
+        exact Euclidean simplex projection, which is defined for any
+        real vector.
         """
         items = sorted(self.items(), key=lambda kv: kv[1])
         total = sum(value for _, value in items)
         if total <= 0:
-            raise MitigationError("quasi-distribution has no positive mass")
+            if not items:
+                raise MitigationError("empty quasi-distribution")
+            return self._euclidean_simplex_projection(items)
         # renormalise so the simplex target sums to one
         items = [(key, value / total) for key, value in items]
         negative_mass = 0.0
@@ -53,6 +61,33 @@ class QuasiDistribution(dict):
         return {
             key: float(value + correction)
             for key, value in items[start:]
+        }
+
+    @staticmethod
+    def _euclidean_simplex_projection(
+        items: list[tuple[str, float]],
+    ) -> dict[str, float]:
+        """argmin ||p - q||_2 over the probability simplex.
+
+        Standard threshold construction (Held et al. 1974): keep the
+        largest entries whose common shift stays non-negative, zero the
+        rest.  Only used when the quasi-distribution's total mass is
+        non-positive — the renormalised smallest-first walk above
+        handles the common case and keeps its historical outputs.
+        """
+        values = np.array([value for _, value in items])
+        descending = np.sort(values)[::-1]
+        cumulative = np.cumsum(descending)
+        ranks = np.arange(1, values.size + 1)
+        support = descending + (1.0 - cumulative) / ranks > 0
+        rho = int(np.nonzero(support)[0].max()) + 1
+        shift = (1.0 - cumulative[rho - 1]) / rho
+        # zeroed entries are dropped, matching the renormalised walk's
+        # output shape (callers test outcome membership)
+        return {
+            key: float(value + shift)
+            for key, value in items
+            if value + shift > 0.0
         }
 
     def expectation(self, diagonal_fn) -> float:

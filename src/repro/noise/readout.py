@@ -99,15 +99,27 @@ class ReadoutError:
         for bitstring, count in counts.items():
             index = bitstring_to_index(bitstring)
             for _ in range(int(count)):
-                noisy = 0
-                for q in range(self.num_qubits):
-                    prepared = (index >> q) & 1
-                    mat = self.assignment_matrices[q]
-                    read = int(rng.random() < mat[1, prepared])
-                    noisy |= read << q
+                noisy = self.sample_index(index, rng)
                 key = index_to_bitstring(noisy, self.num_qubits)
                 out[key] = out.get(key, 0) + 1
         return out
+
+    def sample_index(
+        self, index: int, rng: np.random.Generator
+    ) -> int:
+        """One stochastic assignment of a prepared outcome index.
+
+        Draws exactly one uniform per qubit, in qubit order — the one
+        sampling convention every per-shot path (counts corruption
+        here, the stabilizer back-end's shot loop) shares.
+        """
+        noisy = 0
+        for q in range(self.num_qubits):
+            prepared = (index >> q) & 1
+            mat = self.assignment_matrices[q]
+            read = int(rng.random() < mat[1, prepared])
+            noisy |= read << q
+        return noisy
 
     def assignment_probability(self, measured: int, prepared: int) -> float:
         """P(measured | prepared) over all qubits (product form)."""

@@ -357,7 +357,9 @@ class ExecutionService:
             executor = self._ensure_executor(warm_job=job)
             with self._lock:
                 self._stats["shards_dispatched"] += 1
-            shard_future = executor.submit(_run_shard, [(0, job)])
+            shard_future = executor.submit(
+                _run_shard, [(0, job)], method_qubit_budgets()
+            )
         except BaseException:
             self._job_finished()
             raise
@@ -467,7 +469,12 @@ class ExecutionService:
                 with self._lock:
                     self._stats["shards_dispatched"] += 1
                 try:
-                    shard_future = executor.submit(_run_shard, indexed)
+                    # the budget snapshot travels with every shard so
+                    # parent-side set_method_qubit_budget calls reach
+                    # live workers (not just the pool initializer)
+                    shard_future = executor.submit(
+                        _run_shard, indexed, method_qubit_budgets()
+                    )
                 except BaseException:
                     # a failed dispatch (e.g. broken pool) must hand its
                     # backpressure slots back, or retries deadlock

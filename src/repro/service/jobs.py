@@ -28,7 +28,11 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
-from repro.backends.engine import resolve_trajectory_request
+from repro.backends.engine import (
+    check_method_name,
+    method_descriptor,
+    resolve_trajectory_request,
+)
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import PulseGate, UnitaryGate
 from repro.exceptions import BackendError
@@ -98,8 +102,11 @@ class CircuitJob:
     def __post_init__(self) -> None:
         if self.shots < 1:
             raise BackendError("shots must be positive")
-        # one source of truth for the trajectory-knob rules: the same
-        # resolution the engine (and job_fingerprint) applies
+        # one source of truth for the method-name and trajectory-knob
+        # rules: the same registry/engine checks execution applies.  A
+        # custom back-end's method is valid here as soon as it is
+        # registered (repro.simulators.registry.register_method).
+        check_method_name(self.method)
         resolve_trajectory_request(
             self.trajectories, self.target_error, self.shots
         )
@@ -353,6 +360,12 @@ def job_fingerprint(
     depend on what actually ran, and the auto policy's answer can change
     with the configurable qubit budgets — the literal string ``"auto"``
     would let a store hit serve counts from a different back-end.
+
+    The hash also folds in the resolved method's **descriptor version**
+    (fingerprint v4): registry descriptors bump their ``version`` when
+    a back-end's seeded sampling semantics change, which retires every
+    stored result the old semantics produced without touching any other
+    method's entries.
     """
     if not job.deterministic:
         return None
@@ -366,16 +379,24 @@ def job_fingerprint(
         job.trajectories, job.target_error, job.shots
     )
     trajectories = "auto" if fixed_count is None else int(fixed_count)
+    resolved = str(resolved_method or job.method)
+    try:
+        descriptor_version = method_descriptor(resolved).version
+    except BackendError:
+        # "auto" that never resolved (non-engine backend): keyed by the
+        # literal string alone, exactly as before the registry
+        descriptor_version = None
     payload = repr(
         (
-            "repro-service-v3",
+            "repro-service-v4",
             backend_key,
             fingerprint,
             int(job.shots),
             int(job.seed),
             bool(job.with_noise),
             bool(job.with_readout_error),
-            str(resolved_method or job.method),
+            resolved,
+            descriptor_version,
             trajectories,
             target_error,
         )

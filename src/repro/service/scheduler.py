@@ -25,7 +25,7 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.backends.engine import set_method_qubit_budget
+from repro.backends.engine import adopt_method_budgets
 from repro.exceptions import BackendError, ReproError
 from repro.service.jobs import CircuitJob, describe_job
 from repro.utils.cache import cache_stats_totals
@@ -133,10 +133,12 @@ def _initialize_worker(
     backend = _realize_backend(spec)
     _WORKER["backend"] = backend
     if method_budgets:
-        # adopt the parent's per-method qubit budgets so "auto"
-        # resolves identically on both sides of the process boundary
-        for method, budget in method_budgets.items():
-            set_method_qubit_budget(method, budget)
+        # adopt the parent's per-method qubit budgets so the warm run's
+        # "auto" resolves identically on both sides of the process
+        # boundary (every later shard re-adopts the budgets current at
+        # its dispatch, so parent-side changes after pool start-up are
+        # seen too — see _run_shard)
+        adopt_method_budgets(method_budgets)
     # with a fork start method the child inherits the parent's counters;
     # snapshot them so reported totals are this worker's own work
     if warm_blob is not None:
@@ -201,11 +203,22 @@ def run_job_on_backend(backend, job: CircuitJob):
 
 def _run_shard(
     indexed_jobs: Sequence[tuple[int, CircuitJob]],
+    method_budgets: dict | None = None,
 ) -> ShardResult:
-    """Pool task: execute one shard of jobs on this worker's backend."""
+    """Pool task: execute one shard of jobs on this worker's backend.
+
+    ``method_budgets`` is the parent's per-method qubit-budget snapshot
+    taken when the shard was dispatched.  Adopting it here — rather
+    than only once in the pool initializer — means
+    ``set_method_qubit_budget`` calls made in the parent *after* the
+    pool started still govern every job: budgets travel with the work,
+    not with the worker.
+    """
     backend = _WORKER.get("backend")
     if backend is None:
         raise BackendError("worker used before initialization")
+    if method_budgets is not None:
+        adopt_method_budgets(method_budgets)
     start = time.perf_counter()
     experiments = []
     for index, job in indexed_jobs:

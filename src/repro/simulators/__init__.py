@@ -1,12 +1,37 @@
-"""Gate-level simulators: statevector, unitary, and density matrix."""
+"""Gate-level simulators and the pluggable simulation-method registry.
+
+Amplitude simulators (statevector, unitary, density matrix), the Monte
+Carlo trajectory sampler, the CHP-style stabilizer tableau, and the
+registry every execution back-end registers itself with
+(:mod:`repro.simulators.registry`).
+"""
 
 from repro.simulators.statevector import Statevector, simulate_statevector
 from repro.simulators.unitary import circuit_to_unitary
 from repro.simulators.density_matrix import DensityMatrix
+from repro.simulators.registry import (
+    MethodDescriptor,
+    autodetect_method_budgets,
+    method_descriptor,
+    method_names,
+    register_method,
+    registered_methods,
+    unregister_method,
+)
 from repro.simulators.sampler import (
     counts_to_probabilities,
     probabilities_to_counts,
     sample_counts,
+    total_variation,
+)
+from repro.simulators.stabilizer import (
+    StabilizerProgram,
+    StabilizerTableau,
+    clifford_conjugation_table,
+    is_clifford_matrix,
+    measurement_marginal,
+    pauli_channel_terms,
+    run_stabilizer_program,
 )
 from repro.simulators.trajectory import (
     TrajectoryProgram,
@@ -21,6 +46,20 @@ __all__ = [
     "simulate_statevector",
     "circuit_to_unitary",
     "DensityMatrix",
+    "MethodDescriptor",
+    "autodetect_method_budgets",
+    "method_descriptor",
+    "method_names",
+    "register_method",
+    "registered_methods",
+    "unregister_method",
+    "StabilizerProgram",
+    "StabilizerTableau",
+    "clifford_conjugation_table",
+    "is_clifford_matrix",
+    "measurement_marginal",
+    "pauli_channel_terms",
+    "run_stabilizer_program",
     "TrajectoryProgram",
     "apply_matrix_to_stack",
     "run_trajectories",
@@ -29,4 +68,5 @@ __all__ = [
     "counts_to_probabilities",
     "probabilities_to_counts",
     "sample_counts",
+    "total_variation",
 ]

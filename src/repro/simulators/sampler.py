@@ -62,3 +62,23 @@ def counts_to_vector(
     for key, value in counts.items():
         out[bitstring_to_index(key)] += float(value)
     return out
+
+
+def total_variation(
+    counts_a: Mapping[str, int], counts_b: Mapping[str, int]
+) -> float:
+    """Total-variation distance between two counts dictionaries.
+
+    Each side is normalised by its own shot total, so differently-sized
+    samples compare directly.  The canonical cross-method agreement
+    metric used by the method-matrix tests and the engine benchmarks.
+    """
+    shots_a = sum(counts_a.values())
+    shots_b = sum(counts_b.values())
+    if shots_a <= 0 or shots_b <= 0:
+        raise SimulatorError("total_variation needs non-empty counts")
+    keys = set(counts_a) | set(counts_b)
+    return 0.5 * sum(
+        abs(counts_a.get(k, 0) / shots_a - counts_b.get(k, 0) / shots_b)
+        for k in keys
+    )

@@ -18,6 +18,7 @@ import pytest
 
 from repro.backends import FakeGuadalupe, execute_circuit
 from repro.circuits import QuantumCircuit
+from repro.noise import NoiseModel, ReadoutError
 
 FIXTURE = Path(__file__).parent / "fixtures" / "golden_counts.json"
 
@@ -37,9 +38,43 @@ def golden_circuit(num_qubits: int = 4) -> QuantumCircuit:
     return qc
 
 
+def clifford_golden_circuit(num_qubits: int = 4) -> QuantumCircuit:
+    """The golden circuit's Clifford sibling (rz(0.37) -> s)."""
+    qc = QuantumCircuit(num_qubits, num_qubits)
+    qc.h(0)
+    for i in range(num_qubits - 1):
+        qc.cx(i, i + 1)
+    qc.s(1)
+    qc.sx(2)
+    for i in range(num_qubits):
+        qc.measure(i, i)
+    return qc
+
+
+def golden_pauli_noise(num_qubits: int) -> NoiseModel:
+    """Pauli-mixture noise the stabilizer method simulates exactly."""
+    noise = NoiseModel(num_qubits)
+    noise.add_depolarizing_error("cx", 0.02, 2)
+    for name in ("h", "s", "sx"):
+        noise.add_depolarizing_error(name, 0.002, 1)
+    noise.set_readout_error(ReadoutError.uniform(num_qubits, 0.02))
+    return noise
+
+
 def run_case(backend, case: str):
     """Execute one named golden case; returns the ExperimentResult."""
     circuit = golden_circuit()
+    if case == "stabilizer_noiseless":
+        return execute_circuit(
+            clifford_golden_circuit(), backend.target, None,
+            shots=SHOTS, seed=SEED, method="stabilizer",
+        )
+    if case == "stabilizer_pauli":
+        return execute_circuit(
+            clifford_golden_circuit(), backend.target,
+            golden_pauli_noise(backend.num_qubits),
+            shots=SHOTS, seed=SEED, method="stabilizer",
+        )
     if case == "statevector_noiseless":
         return execute_circuit(
             circuit, backend.target, None, shots=SHOTS, seed=SEED,
@@ -69,6 +104,8 @@ CASES = [
     "density_matrix_noisy",
     "trajectory_fixed",
     "trajectory_adaptive",
+    "stabilizer_noiseless",
+    "stabilizer_pauli",
 ]
 
 
@@ -104,6 +141,21 @@ def test_trajectory_sequential_matches_batched_golden(backend, golden):
         trajectory_batch=1,
     )
     assert dict(sequential.counts) == golden["trajectory_fixed"]["counts"]
+
+
+def test_stabilizer_noiseless_golden_is_statevector_identical(
+    backend, golden
+):
+    """The tableau's deterministic path shares the exact sampling step,
+    so its noiseless golden counts ARE the statevector counts."""
+    statevector = execute_circuit(
+        clifford_golden_circuit(), backend.target, None,
+        shots=SHOTS, seed=SEED, method="statevector",
+    )
+    assert (
+        dict(statevector.counts)
+        == golden["stabilizer_noiseless"]["counts"]
+    )
 
 
 def regenerate() -> None:

@@ -15,6 +15,13 @@ Density-matrix executions are capped at 8 qubits: a 12-qubit density
 matrix is 4^12 ~ 16.7M amplitudes and would dominate the tier-1 wall
 clock for no extra coverage — the 12-qubit cells exercise the 2^n
 methods, which is exactly the regime the trajectory back-end exists for.
+
+``TestStabilizerColumn`` adds the tableau back-end's column on its own
+circuit family (the random circuits above are deliberately non-Clifford
+so the amplitude cells keep exercising generic rotations): Clifford
+circuits with depolarizing (Pauli) noise, TV-compared against the exact
+density distribution and against trajectory sampling past the density
+budget, plus the registry's auto-dispatch crossover points.
 """
 
 import numpy as np
@@ -28,6 +35,7 @@ from repro.backends import (
 )
 from repro.circuits import QuantumCircuit
 from repro.noise import NoiseModel, ReadoutError
+from repro.simulators import total_variation
 
 QUBITS = [4, 8, 12]
 NOISES = ["noiseless", "relaxation", "readout"]
@@ -73,16 +81,6 @@ def make_noise(kind: str, num_qubits: int) -> NoiseModel | None:
 
 def counts_of(result):
     return dict(result.counts)
-
-
-def total_variation(counts_a, counts_b) -> float:
-    shots_a = sum(counts_a.values())
-    shots_b = sum(counts_b.values())
-    keys = set(counts_a) | set(counts_b)
-    return 0.5 * sum(
-        abs(counts_a.get(k, 0) / shots_a - counts_b.get(k, 0) / shots_b)
-        for k in keys
-    )
 
 
 @pytest.mark.parametrize("noise_kind", NOISES)
@@ -194,3 +192,91 @@ class TestMethodMatrix:
         assert tv < bound, (
             f"TV(trajectory, density) = {tv:.4f} at {num_qubits}q"
         )
+
+
+# ---------------------------------------------------------------------------
+# the stabilizer column
+# ---------------------------------------------------------------------------
+
+def random_clifford_circuit(
+    num_qubits: int, seed: int, measured: int | None = None
+) -> QuantumCircuit:
+    """A seeded random layered Clifford circuit on a line."""
+    rng = np.random.default_rng(seed)
+    names = ["h", "s", "sdg", "x", "sx", "z"]
+    qc = QuantumCircuit(
+        num_qubits, num_qubits if measured is None else measured
+    )
+    for layer in range(3):
+        for q in range(num_qubits):
+            getattr(qc, names[int(rng.integers(len(names)))])(q)
+        for q in range(layer % 2, num_qubits - 1, 2):
+            qc.cx(q, q + 1)
+    for c in range(qc.num_clbits):
+        qc.measure(c, c)
+    return qc
+
+
+def pauli_noise(num_qubits: int) -> NoiseModel:
+    noise = NoiseModel(num_qubits)
+    noise.add_depolarizing_error("cx", 0.02, 2)
+    for name in ("h", "s", "sdg", "x", "sx", "z"):
+        noise.add_depolarizing_error(name, 0.002, 1)
+    noise.set_readout_error(ReadoutError.uniform(num_qubits, 0.02))
+    return noise
+
+
+class TestStabilizerColumn:
+    def test_auto_dispatch_crossovers(self, backend):
+        """Clifford + Pauli noise: density below ~13 qubits, tableau
+        past it (and past the 14-qubit density budget outright)."""
+        noise = pauli_noise(backend.num_qubits)
+        for num_qubits, expected in (
+            (4, "density_matrix"),
+            (8, "density_matrix"),
+            (13, "stabilizer"),
+            (16, "stabilizer"),
+        ):
+            circuit = random_clifford_circuit(num_qubits, 0)
+            assert (
+                select_method(circuit, backend.target, noise) == expected
+            ), f"{num_qubits}q resolved unexpectedly"
+
+    @pytest.mark.parametrize("num_qubits", [4, 8])
+    def test_stabilizer_tv_bounded_against_density(
+        self, backend, num_qubits
+    ):
+        """Per-shot tableau sampling vs the exact noisy distribution."""
+        circuit = random_clifford_circuit(num_qubits, 0)
+        noise = pauli_noise(backend.num_qubits)
+        shots = 8192
+        dm = execute_circuit(
+            circuit, backend.target, noise, shots=shots, seed=1,
+            method="density_matrix",
+        )
+        st = execute_circuit(
+            circuit, backend.target, noise, shots=shots, seed=2,
+            method="stabilizer",
+        )
+        tv = total_variation(counts_of(dm), counts_of(st))
+        # fixed seeds: a deterministic statistical check, not a flaky one
+        bound = 0.06 if num_qubits <= 4 else 0.15
+        assert tv < bound, (
+            f"TV(stabilizer, density) = {tv:.4f} at {num_qubits}q"
+        )
+
+    def test_stabilizer_tv_bounded_against_trajectory_12q(self, backend):
+        """Past the density cost crossover: tableau vs trajectory."""
+        circuit = random_clifford_circuit(12, 1, measured=5)
+        noise = pauli_noise(backend.num_qubits)
+        shots = 2048
+        st = execute_circuit(
+            circuit, backend.target, noise, shots=shots, seed=1,
+            method="stabilizer",
+        )
+        traj = execute_circuit(
+            circuit, backend.target, noise, shots=shots, seed=2,
+            method="trajectory", trajectories=32,
+        )
+        tv = total_variation(counts_of(st), counts_of(traj))
+        assert tv < 0.15, f"TV(stabilizer, trajectory) = {tv:.4f}"

@@ -116,6 +116,20 @@ class TestQuasiDistribution:
         assert probs["00"] == pytest.approx(1.0)
         assert all(v >= 0 for v in probs.values())
 
+    def test_nonpositive_total_mass_projects_instead_of_raising(self):
+        # a net-negative quasi-distribution cannot be renormalised for
+        # the smallest-first walk, but its nearest probability
+        # distribution is still well defined (Euclidean projection) —
+        # hypothesis found this with seed=181 of the property below
+        quasi = QuasiDistribution(
+            {"00": 0.567, "01": -0.131, "10": -0.150, "11": -0.375}
+        )
+        probs = quasi.nearest_probability_distribution()
+        assert sum(probs.values()) == pytest.approx(1.0)
+        assert all(v >= 0 for v in probs.values())
+        # projection keeps the ordering: the positive entry dominates
+        assert probs["00"] > 0.5
+
     @settings(max_examples=25, deadline=None)
     @given(st.integers(0, 1000))
     def test_projection_sums_to_one_property(self, seed):
