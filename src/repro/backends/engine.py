@@ -60,7 +60,7 @@ from repro.backends.result import Counts, ExperimentResult
 from repro.backends.target import Target
 from repro.circuits.circuit import CircuitInstruction, QuantumCircuit
 from repro.circuits.gates import Barrier, Delay, Instruction, Measure, PulseGate
-from repro.exceptions import BackendError
+from repro.exceptions import BackendError, ReproError, TransientError
 from repro.noise.model import NoiseModel
 from repro.simulators.density_matrix import DensityMatrix
 from repro.simulators.registry import (
@@ -126,6 +126,35 @@ def __getattr__(name: str):
 def default_trajectory_count(shots: int) -> int:
     """Trajectory count used when the caller does not pin one."""
     return max(1, min(int(shots), DEFAULT_TRAJECTORIES))
+
+
+def classify_error(exc: BaseException) -> str:
+    """Sort an execution failure into ``"transient"`` or ``"permanent"``.
+
+    The execution service retries transient failures (same job, same
+    seed — simulation is side-effect-free, so a retry is always safe
+    and, with the seed carried along, byte-identical) and quarantines
+    permanent ones.  The taxonomy:
+
+    * **permanent** — every :class:`~repro.exceptions.ReproError`
+      except :class:`~repro.exceptions.TransientError`: validation,
+      budget and physics errors are deterministic functions of the job,
+      so re-running cannot change the outcome.  ``MemoryError`` is also
+      permanent: the same state vector will not fit on the second try.
+    * **transient** — :class:`~repro.exceptions.TransientError`,
+      broken/timed-out executors (a worker died or hung — the job
+      itself may be innocent), ``OSError`` (disk / pipe hiccups) and
+      pipe-teardown artefacts (``EOFError``, ``BrokenPipeError``).
+      Unrecognised exceptions default to transient: retries are bounded
+      and side-effect-free, so the cost of retrying a deterministic bug
+      a few times is far lower than the cost of killing a long batch
+      over an infrastructure blip the taxonomy does not know yet.
+    """
+    if isinstance(exc, TransientError):
+        return "transient"
+    if isinstance(exc, (MemoryError, ReproError)):
+        return "permanent"
+    return "transient"
 
 
 def resolve_trajectory_request(

@@ -2,12 +2,20 @@
 
 See SERVICE.md for the architecture: job specs (``jobs``), the
 work-stealing shard planner and worker protocol (``scheduler``), the
-futures facade with backpressure (``futures``) and the content-addressed
-result store (``store``).
+futures facade with backpressure and fault recovery (``futures``), the
+content-addressed result store (``store``) and the deterministic
+fault-injection harness (``faults``).
 """
 
+from repro.service.faults import (
+    FaultInjected,
+    FaultPolicy,
+    FaultRule,
+    PermanentFaultInjected,
+)
 from repro.service.jobs import (
     CircuitJob,
+    JobFailure,
     SweepJob,
     backend_config_digest,
     circuit_fingerprint,
@@ -21,9 +29,14 @@ from repro.service.store import ResultStore
 
 __all__ = [
     "CircuitJob",
-    "SweepJob",
     "ExecutionService",
+    "FaultInjected",
+    "FaultPolicy",
+    "FaultRule",
+    "JobFailure",
+    "PermanentFaultInjected",
     "ResultStore",
+    "SweepJob",
     "backend_config_digest",
     "circuit_fingerprint",
     "derive_job_seeds",

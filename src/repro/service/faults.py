@@ -1,0 +1,172 @@
+"""Deterministic fault injection for the execution service.
+
+Chaos testing a retry layer is only trustworthy when the chaos itself is
+reproducible: a flaky chaos test proves nothing about a flaky service.
+A :class:`FaultPolicy` is a *seeded*, picklable description of which
+failures to inject where — every decision derives from
+``derive_seed(policy.seed, rule, scope, unit, attempt)``, never from
+process identity or wall-clock, so the same policy injects the same
+faults on any machine, at any worker count, on every run.
+
+The policy travels with the work: the service passes it to the pool
+initializer (``scope="warm"`` faults hit the worker warm-up) and along
+with every shard dispatch (``scope="job"`` faults hit individual job
+attempts).  Supported fault kinds:
+
+* ``"transient"`` — raise :class:`FaultInjected` (classified transient,
+  so the service retries);
+* ``"permanent"`` — raise :class:`PermanentFaultInjected` (classified
+  permanent, so the service quarantines the job);
+* ``"kill"`` — ``os._exit`` the worker process mid-shard, the moral
+  equivalent of SIGKILL / an OOM kill: the parent sees a
+  ``BrokenProcessPool`` and must rebuild.  Never fires in the parent
+  process (inline execution), where it would kill the caller;
+* ``"delay"`` — sleep ``delay_seconds`` before running the job, the way
+  a hung worker or a paging machine stalls a shard (used to exercise
+  shard timeouts).
+
+Faults are keyed by the job's *unit index* (its position in the batch's
+unit list) and *attempt number*, both assigned by the parent before
+dispatch — so ``max_attempts=1`` means "fail the first attempt, let the
+retry through", the canonical transient-blip scenario.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import BackendError, TransientError
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "FaultInjected",
+    "FaultPolicy",
+    "FaultRule",
+    "PermanentFaultInjected",
+]
+
+_KINDS = ("transient", "permanent", "kill", "delay")
+_SCOPES = ("job", "warm")
+
+
+class FaultInjected(TransientError):
+    """An injected *transient* fault (retrying must eventually succeed)."""
+
+
+class PermanentFaultInjected(BackendError):
+    """An injected *permanent* fault (the job must be quarantined)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One kind of failure to inject, with deterministic targeting.
+
+    ``rate`` is the per-(unit, attempt) firing probability (1.0 =
+    always); ``max_attempts`` stops the rule once a unit has been tried
+    that many times (``None`` = keep firing forever — a poison job);
+    ``match_tag`` restricts the rule to jobs carrying that ``tag``
+    (``None`` matches every job).  ``scope="warm"`` rules fire during
+    worker warm-up instead of job execution.
+    """
+
+    kind: str
+    scope: str = "job"
+    rate: float = 1.0
+    max_attempts: int | None = 1
+    delay_seconds: float = 0.25
+    match_tag: object = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise BackendError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.scope not in _SCOPES:
+            raise BackendError(
+                f"unknown fault scope {self.scope!r}; "
+                f"expected one of {_SCOPES}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise BackendError("fault rate must be in [0, 1]")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise BackendError("max_attempts must be >= 1 or None")
+        if self.delay_seconds < 0:
+            raise BackendError("delay_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """A seeded, picklable set of :class:`FaultRule` s.
+
+    ``apply`` is the single injection point the scheduler calls; it
+    either returns quietly (no rule fired) or performs the injected
+    failure.  Decisions are pure functions of
+    ``(seed, rule position, scope, unit_index, attempt)`` — see the
+    module docstring for why.
+    """
+
+    rules: tuple[FaultRule, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def _fires(
+        self, position: int, rule: FaultRule, scope: str,
+        unit_index: int, attempt: int, tag: object,
+    ) -> bool:
+        if rule.scope != scope:
+            return False
+        if rule.match_tag is not None and rule.match_tag != tag:
+            return False
+        if rule.max_attempts is not None and attempt >= rule.max_attempts:
+            return False
+        if rule.rate >= 1.0:
+            return True
+        roll = derive_seed(
+            self.seed, "fault", position, scope, unit_index, attempt
+        )
+        return (roll / 2**32) < rule.rate
+
+    def matching(
+        self, scope: str, unit_index: int, attempt: int, tag: object = None
+    ) -> list[FaultRule]:
+        """The rules that fire for this (scope, unit, attempt) — pure."""
+        return [
+            rule
+            for position, rule in enumerate(self.rules)
+            if self._fires(position, rule, scope, unit_index, attempt, tag)
+        ]
+
+    def apply(
+        self,
+        scope: str,
+        unit_index: int,
+        attempt: int,
+        tag: object = None,
+        allow_kill: bool = True,
+    ) -> None:
+        """Inject whatever fires for this (scope, unit, attempt).
+
+        ``allow_kill=False`` (the parent process / inline execution)
+        downgrades ``"kill"`` rules to transient exceptions — killing
+        the caller's own process is never an acceptable injection.
+        """
+        for rule in self.matching(scope, unit_index, attempt, tag):
+            if rule.kind == "delay":
+                time.sleep(rule.delay_seconds)
+            elif rule.kind == "kill" and allow_kill:
+                # skip interpreter teardown exactly as SIGKILL would
+                os._exit(1)
+            elif rule.kind == "permanent":
+                raise PermanentFaultInjected(
+                    f"injected permanent fault (unit {unit_index}, "
+                    f"attempt {attempt})"
+                )
+            else:  # "transient", or "kill" downgraded inline
+                raise FaultInjected(
+                    f"injected transient fault (unit {unit_index}, "
+                    f"attempt {attempt})"
+                )

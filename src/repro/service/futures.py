@@ -22,28 +22,50 @@ service::
   bound is reached (backpressure instead of unbounded queue growth).
 * An optional :class:`~repro.service.store.ResultStore` serves repeated
   deterministic jobs from disk without touching a worker.
+
+**Failure semantics** (SERVICE.md "Failure semantics"): shard failures
+are classified through
+:func:`~repro.backends.engine.classify_error` — transient ones retry
+with exponential backoff up to ``retries`` times, a dead pool
+(``BrokenProcessPool``) is rebuilt and its outstanding shards
+resubmitted (falling back to inline execution after
+``max_pool_rebuilds`` pool losses), hung shards are timed out
+(``shard_timeout``) and their workers reclaimed, and a job that keeps
+failing is bisected out of its shard and quarantined alone
+(:class:`~repro.exceptions.QuarantineError`) while the rest of the
+batch completes.  Deterministic jobs checkpoint into the store as each
+shard completes, so a killed batch re-submitted with the same jobs
+resumes from store hits and executes only the missing tail.  Every
+retry re-runs the same :class:`CircuitJob` with its already-resolved
+seed, so ``jobs=1`` vs ``jobs=N`` byte-identity survives every failure
+mode; the recovery counters surface in
+``result.metadata["service"]["faults"]``.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 import os
 import pickle
 import threading
 import time
 from collections.abc import Iterable, Iterator, Sequence
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import replace
 
 from repro.backends.engine import (
+    classify_error,
     default_trajectory_count,
     merge_trajectory_results,
     method_qubit_budgets,
     select_method,
 )
-from repro.exceptions import BackendError
+from repro.exceptions import BackendError, QuarantineError, TransientError
+from repro.service.faults import FaultPolicy
 from repro.service.jobs import (
     CircuitJob,
+    JobFailure,
     SweepJob,
     backend_config_digest,
     job_fingerprint,
@@ -59,8 +81,23 @@ from repro.service.scheduler import (
 )
 from repro.service.store import ResultStore
 from repro.utils.cache import cache_stats_totals
+from repro.utils.rng import derive_seed
 
 __all__ = ["ExecutionService"]
+
+_LOG = logging.getLogger("repro.service")
+
+#: ceiling on one backoff sleep — retries must never stall a batch for
+#: longer than a worker would have taken to just run the job
+_MAX_BACKOFF_SECONDS = 2.0
+
+#: fault-counter schema reported in ``metadata["service"]["faults"]``
+_FAULT_COUNTERS = (
+    "retries",
+    "transient_errors",
+    "timeouts",
+    "pool_rebuilds",
+)
 
 
 class ExecutionService:
@@ -76,11 +113,24 @@ class ExecutionService:
         shards_per_worker: int = DEFAULT_SHARDS_PER_WORKER,
         warm: bool = True,
         mp_context=None,
+        retries: int = 3,
+        retry_backoff: float = 0.05,
+        shard_timeout: float | None = None,
+        max_pool_rebuilds: int = 2,
+        fault_policy: FaultPolicy | None = None,
     ) -> None:
         if jobs < 1:
             raise BackendError("jobs must be >= 1")
         if max_pending is not None and max_pending < 1:
             raise BackendError("max_pending must be >= 1")
+        if retries < 0:
+            raise BackendError("retries must be >= 0")
+        if retry_backoff < 0:
+            raise BackendError("retry_backoff must be >= 0")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise BackendError("shard_timeout must be positive")
+        if max_pool_rebuilds < 0:
+            raise BackendError("max_pool_rebuilds must be >= 0")
         self.backend = backend
         self.workers = int(jobs)
         self.shards_per_worker = int(shards_per_worker)
@@ -88,6 +138,17 @@ class ExecutionService:
         self.store = (
             ResultStore(store) if isinstance(store, str) else store
         )
+        #: max transient retries per job beyond its first attempt
+        self.retries = int(retries)
+        #: base of the exponential retry backoff, seconds
+        self.retry_backoff = float(retry_backoff)
+        #: per-unit wall-clock allowance; a shard of k units times out
+        #: after ``k * shard_timeout`` seconds (``None`` = never)
+        self.shard_timeout = shard_timeout
+        #: broken-pool events tolerated before degrading to inline
+        self.max_pool_rebuilds = int(max_pool_rebuilds)
+        #: deterministic fault injection (chaos tests / recovery bench)
+        self.fault_policy = fault_policy
         self._mp_context = mp_context
         self._executor: ProcessPoolExecutor | None = None
         self._max_pending = max_pending
@@ -100,6 +161,7 @@ class ExecutionService:
         self._pending = 0
         self._closed = False
         self._backend_key: str | None = None
+        self._store_degraded = False
         self._stats = {
             "jobs_submitted": 0,
             "jobs_run": 0,
@@ -108,6 +170,12 @@ class ExecutionService:
             "store_misses": 0,
             "max_pending_seen": 0,
             "per_worker": {},
+            "retries": 0,
+            "transient_errors": 0,
+            "timeouts": 0,
+            "pool_rebuilds": 0,
+            "quarantined": 0,
+            "inline_fallbacks": 0,
         }
 
     # ------------------------------------------------------------------
@@ -137,9 +205,34 @@ class ExecutionService:
                     worker_backend_spec(self.backend),
                     warm_blob,
                     method_qubit_budgets(),
+                    self.fault_policy,
                 ),
             )
         return self._executor
+
+    def _rebuild_pool(self, kill: bool = False) -> None:
+        """Discard the worker pool; the next dispatch builds a fresh one.
+
+        ``kill=True`` terminates the worker processes first — the only
+        way to reclaim a worker hung inside a shard, since a plain
+        shutdown would wait on a task that never finishes.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        if kill:
+            for process in list(
+                getattr(executor, "_processes", {}).values()
+            ):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
 
     def start(self) -> "ExecutionService":
         """Eagerly start the worker pool and prove it can run a task.
@@ -201,7 +294,7 @@ class ExecutionService:
     def _absorb_shard(self, shard: ShardResult) -> None:
         with self._lock:
             self._stats["jobs_run"] += shard.jobs_run
-            self._stats["per_worker"][shard.worker_pid] = dict(
+            merged = dict(
                 shard.cache_totals,
                 wall_seconds=round(
                     shard.wall_seconds
@@ -211,6 +304,31 @@ class ExecutionService:
                     6,
                 ),
             )
+            if shard.warm_error is not None:
+                # the worker runs cold; say why instead of just "slow"
+                merged["warm_error"] = shard.warm_error
+            self._stats["per_worker"][shard.worker_pid] = merged
+
+    def _note_fault(self, faults: dict, key: str, count: int = 1) -> None:
+        """Count one fault event in the batch dict and service totals."""
+        faults[key] += count
+        with self._lock:
+            self._stats[key] += count
+
+    def _backoff_seconds(self, attempt: int, unit_index: int) -> float:
+        """Exponential backoff with deterministic jitter.
+
+        Jitter derives from the fault-policy seed and the (unit,
+        attempt) pair — never from entropy — so chaos runs reproduce
+        their timing envelope; it only shapes wall-clock, results are
+        seed-determined regardless.
+        """
+        if self.retry_backoff <= 0:
+            return 0.0
+        base = self.retry_backoff * (2 ** max(0, attempt - 1))
+        seed = self.fault_policy.seed if self.fault_policy else 0
+        frac = derive_seed(seed, "backoff", unit_index, attempt) / 2**32
+        return min(base * (1.0 + frac), _MAX_BACKOFF_SECONDS)
 
     def stats(self) -> dict:
         """Service counters plus store and (inline) cache statistics."""
@@ -225,9 +343,44 @@ class ExecutionService:
             }
         if self.store is not None:
             out["store"] = self.store.stats()
+            out["store_degraded"] = self._store_degraded
         if not self.parallel:
             out["per_worker"] = {"inline": cache_stats_totals()}
         return out
+
+    # ------------------------------------------------------------------
+    # store access (degrades gracefully, never kills a batch)
+    # ------------------------------------------------------------------
+    def _degrade_store(self, operation: str, exc: BaseException) -> None:
+        with self._lock:
+            if self._store_degraded:
+                return
+            self._store_degraded = True
+        self.store.note_error()
+        _LOG.warning(
+            "result store %s failed (%s: %s); continuing without the "
+            "store for this service",
+            operation,
+            type(exc).__name__,
+            exc,
+        )
+
+    def _store_get(self, key: str | None):
+        if key is None or self.store is None or self._store_degraded:
+            return None
+        try:
+            return self.store.get(key)
+        except OSError as exc:
+            self._degrade_store("read", exc)
+            return None
+
+    def _store_put(self, key: str | None, experiment) -> None:
+        if key is None or self.store is None or self._store_degraded:
+            return
+        try:
+            self.store.put(key, experiment)
+        except OSError as exc:
+            self._degrade_store("write", exc)
 
     # ------------------------------------------------------------------
     # execution
@@ -267,7 +420,7 @@ class ExecutionService:
         key = self._store_key(job)
         if key is None:
             return None, None
-        experiment = self.store.get(key)
+        experiment = self._store_get(key)
         with self._lock:
             if experiment is not None:
                 self._stats["store_hits"] += 1
@@ -277,6 +430,44 @@ class ExecutionService:
 
     def _run_inline(self, job: CircuitJob):
         return run_job_on_backend(self.backend, job)
+
+    def _execute_inline_with_retry(
+        self, unit_index: int, job: CircuitJob, faults: dict
+    ) -> tuple:
+        """Run one job in this process, retrying transient failures.
+
+        Returns ``(experiment, None, attempts_made)`` on success or
+        ``(None, exc, attempts_made)`` once the failure is permanent or
+        the retry budget is exhausted.  Fault injection applies with
+        ``allow_kill=False`` — killing the caller's own process is
+        never acceptable chaos.
+        """
+        attempt = 0
+        while True:
+            try:
+                if self.fault_policy is not None:
+                    self.fault_policy.apply(
+                        "job",
+                        unit_index,
+                        attempt,
+                        tag=job.tag,
+                        allow_kill=False,
+                    )
+                experiment = self._run_inline(job)
+            except Exception as exc:
+                self._note_fault(faults, "transient_errors")
+                if (
+                    classify_error(exc) == "permanent"
+                    or attempt >= self.retries
+                ):
+                    return None, exc, attempt + 1
+                attempt += 1
+                self._note_fault(faults, "retries")
+                time.sleep(self._backoff_seconds(attempt, unit_index))
+            else:
+                with self._lock:
+                    self._stats["jobs_run"] += 1
+                return experiment, None, attempt + 1
 
     def _trajectory_subjobs(
         self, job: CircuitJob
@@ -324,7 +515,9 @@ class ExecutionService:
 
         Blocks while ``max_pending`` jobs are already in flight — the
         backpressure contract callers rely on instead of an unbounded
-        submission queue.
+        submission queue.  Transient failures retry (rebuilding the
+        pool if it broke) before the future resolves; only a permanent
+        failure or an exhausted retry budget reaches the caller.
         """
         if self._closed:
             raise BackendError("service is shut down")
@@ -341,48 +534,88 @@ class ExecutionService:
         self._job_started()
         if not self.parallel:
             future = Future()
+            faults = self._fresh_fault_counters()
             try:
-                experiment = self._run_inline(job)
-                with self._lock:
-                    self._stats["jobs_run"] += 1
-                if key is not None:
-                    self.store.put(key, experiment)
-                future.set_result(experiment)
+                experiment, exc, _ = self._execute_inline_with_retry(
+                    0, job, faults
+                )
+                if exc is not None:
+                    future.set_exception(exc)
+                else:
+                    self._store_put(key, experiment)
+                    future.set_result(experiment)
             except BaseException as exc:  # propagate through the future
                 future.set_exception(exc)
             finally:
                 self._job_finished()
             return future
+        future = Future()
         try:
-            executor = self._ensure_executor(warm_job=job)
-            with self._lock:
-                self._stats["shards_dispatched"] += 1
-            shard_future = executor.submit(
-                _run_shard, [(0, job)], method_qubit_budgets()
-            )
+            self._submit_pooled(job, key, future, attempt=0)
         except BaseException:
             self._job_finished()
             raise
-        future = Future()
+        return future
+
+    def _submit_pooled(
+        self, job: CircuitJob, key: str | None, future: Future, attempt: int
+    ) -> None:
+        """Dispatch one pooled attempt of ``job``; retries via callback.
+
+        Owns exactly one backpressure slot across all attempts: the
+        slot is released when ``future`` finally resolves (success,
+        permanent failure, or exhausted retries), never between
+        retries.
+        """
+        executor = self._ensure_executor(warm_job=job)
+        with self._lock:
+            self._stats["shards_dispatched"] += 1
+        shard_future = executor.submit(
+            _run_shard,
+            [(0, job, attempt)],
+            method_qubit_budgets(),
+            self.fault_policy,
+        )
 
         def _resolve(done: Future) -> None:
             try:
                 shard: ShardResult = done.result()
                 self._absorb_shard(shard)
                 experiment = shard.experiments[0][1]
-                if key is not None:
-                    self.store.put(key, experiment)
+                self._store_put(key, experiment)
             except BaseException as exc:
+                if (
+                    isinstance(exc, Exception)
+                    and classify_error(exc) == "transient"
+                    and attempt < self.retries
+                    and not self._closed
+                ):
+                    faults = self._fresh_fault_counters()
+                    self._note_fault(faults, "transient_errors")
+                    self._note_fault(faults, "retries")
+                    if isinstance(exc, BrokenExecutor):
+                        self._note_fault(faults, "pool_rebuilds")
+                        self._rebuild_pool()
+                    time.sleep(self._backoff_seconds(attempt + 1, 0))
+                    try:
+                        self._submit_pooled(job, key, future, attempt + 1)
+                    except BaseException as redispatch_exc:
+                        future.set_exception(redispatch_exc)
+                        self._job_finished()
+                    return
                 # includes store-write failures: the caller's future must
                 # always resolve, never hang
                 future.set_exception(exc)
+                self._job_finished()
             else:
                 future.set_result(experiment)
-            finally:
                 self._job_finished()
 
         shard_future.add_done_callback(_resolve)
-        return future
+
+    @staticmethod
+    def _fresh_fault_counters() -> dict:
+        return {key: 0 for key in _FAULT_COUNTERS}
 
     def map(
         self, jobs: SweepJob | Sequence[CircuitJob]
@@ -400,9 +633,24 @@ class ExecutionService:
         return experiments
 
     def run_jobs(
-        self, jobs: Sequence[CircuitJob]
+        self,
+        jobs: Sequence[CircuitJob],
+        *,
+        return_exceptions: bool = False,
     ) -> tuple[list, dict]:
-        """Ordered results plus the batch's service metadata."""
+        """Ordered results plus the batch's service metadata.
+
+        A job that fails permanently (or exhausts its retry budget) is
+        *quarantined*: the rest of the batch still completes — and,
+        with a store attached, checkpoints — before the failure
+        surfaces.  By default that surfacing is a
+        :class:`~repro.exceptions.QuarantineError` carrying one
+        :class:`~repro.service.jobs.JobFailure` per dead job (plus the
+        batch metadata as ``exc.service_meta``); with
+        ``return_exceptions=True`` the failed jobs' result slots hold
+        their :class:`JobFailure` records instead and no error is
+        raised.
+        """
         if self._closed:
             raise BackendError("service is shut down")
         jobs = list(jobs)
@@ -421,15 +669,27 @@ class ExecutionService:
                 missing.append(index)
         store_hits = len(jobs) - len(missing)
 
+        faults = self._fresh_fault_counters()
+        faults["inline_fallback"] = False
+        failures: dict[int, JobFailure] = {}
         shard_count = 0
         subjob_count = 0
         if missing and not self.parallel:
             for index in missing:
-                results[index] = self._run_inline(jobs[index])
-                with self._lock:
-                    self._stats["jobs_run"] += 1
-                if keys[index] is not None:
-                    self.store.put(keys[index], results[index])
+                experiment, exc, attempts_made = (
+                    self._execute_inline_with_retry(
+                        index, jobs[index], faults
+                    )
+                )
+                if exc is not None:
+                    failures[index] = JobFailure.from_exception(
+                        index, jobs[index], exc, attempts_made
+                    )
+                    with self._lock:
+                        self._stats["quarantined"] += 1
+                    continue
+                results[index] = experiment
+                self._store_put(keys[index], experiment)
         elif missing:
             # expand trajectory jobs into slice sub-jobs so a single
             # big trajectory circuit still saturates the pool; a *unit*
@@ -445,67 +705,9 @@ class ExecutionService:
                     units.extend(sub_jobs)
                     owner.extend([index] * len(sub_jobs))
                     subjob_count += len(sub_jobs)
-            executor = self._ensure_executor(warm_job=units[0])
-            shards = plan_shards(
-                len(units),
-                self.workers,
-                shards_per_worker=self.shards_per_worker,
-                min_shard_size=1,
+            shard_count = self._run_units_pooled(
+                units, owner, jobs, keys, results, faults, failures
             )
-            if self._max_pending is not None:
-                # backpressure bound: no shard may need more in-flight
-                # slots than the bound allows
-                shards = [
-                    shard[pos : pos + self._max_pending]
-                    for shard in shards
-                    for pos in range(0, len(shard), self._max_pending)
-                ]
-            shard_count = len(shards)
-            futures: list[Future] = []
-            for shard in shards:
-                indexed = [(pos, units[pos]) for pos in shard]
-                self._acquire_slots(len(indexed))
-                self._job_started(len(indexed))
-                with self._lock:
-                    self._stats["shards_dispatched"] += 1
-                try:
-                    # the budget snapshot travels with every shard so
-                    # parent-side set_method_qubit_budget calls reach
-                    # live workers (not just the pool initializer)
-                    shard_future = executor.submit(
-                        _run_shard, indexed, method_qubit_budgets()
-                    )
-                except BaseException:
-                    # a failed dispatch (e.g. broken pool) must hand its
-                    # backpressure slots back, or retries deadlock
-                    self._job_finished(len(indexed))
-                    raise
-                shard_future.add_done_callback(
-                    lambda done, n=len(indexed): self._job_finished(n)
-                )
-                futures.append(shard_future)
-            failure: BaseException | None = None
-            unit_results: list = [None] * len(units)
-            for shard_future in futures:
-                try:
-                    shard: ShardResult = shard_future.result()
-                except BaseException as exc:
-                    failure = failure or exc
-                    continue
-                self._absorb_shard(shard)
-                for pos, experiment in shard.experiments:
-                    unit_results[pos] = experiment
-            if failure is not None:
-                raise failure
-            # stitch sub-job slices back into whole-job results
-            # (unit order is slice order, so grouping by owner suffices)
-            grouped: dict[int, list] = {}
-            for pos, experiment in enumerate(unit_results):
-                grouped.setdefault(owner[pos], []).append(experiment)
-            for index, parts in grouped.items():
-                results[index] = merge_trajectory_results(parts)
-                if keys[index] is not None:
-                    self.store.put(keys[index], results[index])
         meta = {
             "jobs": len(jobs),
             "workers": self.workers if missing else 0,
@@ -514,8 +716,311 @@ class ExecutionService:
             "store_hits": store_hits,
             "wall_seconds": round(time.perf_counter() - start, 6),
             "per_worker": self.stats()["per_worker"],
+            "faults": {
+                **{key: faults[key] for key in _FAULT_COUNTERS},
+                "inline_fallback": faults["inline_fallback"],
+                "quarantined": [
+                    failures[index].as_dict() for index in sorted(failures)
+                ],
+            },
         }
+        if self.store is not None:
+            meta["store_degraded"] = self._store_degraded
+        if failures:
+            ordered = [failures[index] for index in sorted(failures)]
+            if return_exceptions:
+                for index, failure in failures.items():
+                    results[index] = failure
+            else:
+                survivors = len(jobs) - len(failures)
+                error = QuarantineError(
+                    f"{len(failures)} of {len(jobs)} jobs quarantined "
+                    f"after retries ({survivors} completed"
+                    + (
+                        " and checkpointed to the store"
+                        if self.store is not None
+                        and not self._store_degraded
+                        else ""
+                    )
+                    + "): "
+                    + "; ".join(
+                        f"#{f.index} {f.description}: {f.error}"
+                        for f in ordered[:3]
+                    )
+                    + ("; ..." if len(ordered) > 3 else ""),
+                    failures=ordered,
+                )
+                error.service_meta = meta
+                raise error
         return results, meta
+
+    def _run_units_pooled(
+        self,
+        units: list[CircuitJob],
+        owner: list[int],
+        jobs: Sequence[CircuitJob],
+        keys: list[str | None],
+        results: list,
+        faults: dict,
+        failures: dict[int, JobFailure],
+    ) -> int:
+        """Drive ``units`` through the pool with retry and recovery.
+
+        Round-based: dispatch every queued shard, collect outcomes
+        (bounded by ``shard_timeout``), then requeue failures — whole
+        on their first transient failure, bisected afterwards so a
+        poison job is narrowed down and quarantined alone.  A broken
+        pool is rebuilt between rounds; after ``max_pool_rebuilds``
+        broken-pool events the remaining units degrade to inline
+        execution.  Completed owners checkpoint to the store
+        immediately, not at batch end.  Returns the shard dispatch
+        count.
+        """
+        owner_units: dict[int, list[int]] = {}
+        for pos, own in enumerate(owner):
+            owner_units.setdefault(own, []).append(pos)
+        owner_remaining = {
+            own: len(members) for own, members in owner_units.items()
+        }
+        unit_results: list = [None] * len(units)
+        attempts = [0] * len(units)
+        broken_events = 0
+        shard_count = 0
+        inline_rest = False
+
+        def complete_unit(unit: int, experiment) -> None:
+            if unit_results[unit] is not None:
+                return  # late result of a timed-out attempt already redone
+            unit_results[unit] = experiment
+            own = owner[unit]
+            owner_remaining[own] -= 1
+            if owner_remaining[own] == 0:
+                # stitch sub-job slices back into the whole-job result
+                # and checkpoint it NOW — a later crash must not lose it
+                parts = [unit_results[p] for p in owner_units[own]]
+                results[own] = merge_trajectory_results(parts)
+                self._store_put(keys[own], results[own])
+
+        def quarantine(unit: int, exc: BaseException) -> None:
+            own = owner[unit]
+            if own in failures:
+                return
+            failures[own] = JobFailure.from_exception(
+                own, jobs[own], exc, attempts[unit]
+            )
+            with self._lock:
+                self._stats["quarantined"] += 1
+
+        queue: list[list[int]] = plan_shards(
+            len(units),
+            self.workers,
+            shards_per_worker=self.shards_per_worker,
+            min_shard_size=1,
+        )
+        if self._max_pending is not None:
+            # backpressure bound: no shard may need more in-flight
+            # slots than the bound allows
+            queue = [
+                shard[pos : pos + self._max_pending]
+                for shard in queue
+                for pos in range(0, len(shard), self._max_pending)
+            ]
+
+        while queue:
+            # sibling slices of an already-quarantined job have nothing
+            # left to contribute; drop them before dispatching
+            queue = [
+                [u for u in shard if owner[u] not in failures]
+                for shard in queue
+            ]
+            queue = [shard for shard in queue if shard]
+            if not queue or inline_rest:
+                break
+            retry_shards: list[list[int]] = []
+            min_retry_attempt: int | None = None
+            pool_broken = False
+            timeout_hit = False
+
+            def fail_shard(
+                shard: list[int], exc: BaseException, permanent: bool
+            ) -> None:
+                nonlocal min_retry_attempt
+                for u in shard:
+                    attempts[u] += 1
+                if len(shard) == 1:
+                    unit = shard[0]
+                    if permanent or attempts[unit] > self.retries:
+                        quarantine(unit, exc)
+                    else:
+                        self._note_fault(faults, "retries")
+                        retry_shards.append([unit])
+                        min_retry_attempt = min(
+                            attempts[unit],
+                            min_retry_attempt or attempts[unit],
+                        )
+                elif permanent or max(attempts[u] for u in shard) >= 2:
+                    # repeatedly-failing multi-job shard: bisect so the
+                    # blame narrows to the offending job, which will be
+                    # quarantined alone once isolated
+                    mid = len(shard) // 2
+                    self._note_fault(faults, "retries")
+                    retry_shards.extend([shard[:mid], shard[mid:]])
+                    min_retry_attempt = min(
+                        min(attempts[u] for u in shard),
+                        min_retry_attempt or attempts[shard[0]],
+                    )
+                else:
+                    self._note_fault(faults, "retries")
+                    retry_shards.append(list(shard))
+                    min_retry_attempt = min(
+                        min(attempts[u] for u in shard),
+                        min_retry_attempt or attempts[shard[0]],
+                    )
+
+            try:
+                executor = self._ensure_executor(
+                    warm_job=units[queue[0][0]]
+                )
+            except BackendError:
+                raise
+            except Exception as exc:
+                # the pool itself cannot be built: count it against the
+                # rebuild budget and eventually degrade to inline
+                broken_events += 1
+                self._note_fault(faults, "pool_rebuilds")
+                if broken_events > self.max_pool_rebuilds:
+                    inline_rest = True
+                _LOG.warning(
+                    "worker pool construction failed (%s: %s)",
+                    type(exc).__name__,
+                    exc,
+                )
+                continue
+
+            dispatched: list[tuple[list[int], Future, float]] = []
+            for shard in queue:
+                indexed = [(u, units[u], attempts[u]) for u in shard]
+                self._acquire_slots(len(indexed))
+                self._job_started(len(indexed))
+                with self._lock:
+                    self._stats["shards_dispatched"] += 1
+                shard_count += 1
+                try:
+                    shard_future = executor.submit(
+                        _run_shard,
+                        indexed,
+                        method_qubit_budgets(),
+                        self.fault_policy,
+                    )
+                except BrokenExecutor as exc:
+                    # the pool died under us mid-dispatch: this shard
+                    # (and the rest of the round) will be retried on
+                    # the rebuilt pool
+                    self._job_finished(len(indexed))
+                    pool_broken = True
+                    self._note_fault(faults, "transient_errors")
+                    fail_shard(shard, exc, permanent=False)
+                    continue
+                except BaseException:
+                    # a failed dispatch must hand its backpressure
+                    # slots back, or retries deadlock
+                    self._job_finished(len(indexed))
+                    raise
+                shard_future.add_done_callback(
+                    lambda done, n=len(indexed): self._job_finished(n)
+                )
+                dispatched.append(
+                    (shard, shard_future, time.monotonic())
+                )
+
+            for shard, shard_future, dispatch_time in dispatched:
+                budget = (
+                    None
+                    if self.shard_timeout is None
+                    else self.shard_timeout * max(1, len(shard))
+                )
+                try:
+                    if budget is None:
+                        shard_result = shard_future.result()
+                    else:
+                        shard_result = shard_future.result(
+                            timeout=max(
+                                0.0,
+                                dispatch_time
+                                + budget
+                                - time.monotonic(),
+                            )
+                        )
+                except concurrent.futures.TimeoutError:
+                    timeout_hit = True
+                    self._note_fault(faults, "timeouts")
+                    self._note_fault(faults, "transient_errors")
+                    fail_shard(
+                        shard,
+                        TransientError(
+                            f"shard of {len(shard)} unit(s) exceeded "
+                            f"its {budget:.3g}s timeout"
+                        ),
+                        permanent=False,
+                    )
+                except BrokenExecutor as exc:
+                    pool_broken = True
+                    self._note_fault(faults, "transient_errors")
+                    fail_shard(shard, exc, permanent=False)
+                except Exception as exc:
+                    permanent = classify_error(exc) == "permanent"
+                    if not permanent:
+                        self._note_fault(faults, "transient_errors")
+                    fail_shard(shard, exc, permanent=permanent)
+                else:
+                    self._absorb_shard(shard_result)
+                    for unit, experiment in shard_result.experiments:
+                        complete_unit(unit, experiment)
+
+            if pool_broken:
+                broken_events += 1
+                self._note_fault(faults, "pool_rebuilds")
+                self._rebuild_pool(kill=False)
+                if broken_events > self.max_pool_rebuilds:
+                    inline_rest = True
+            elif timeout_hit:
+                # hung workers hold their tasks forever; terminating
+                # them is the only way to reclaim the pool
+                self._note_fault(faults, "pool_rebuilds")
+                self._rebuild_pool(kill=True)
+            queue = retry_shards
+            if queue and not inline_rest and min_retry_attempt:
+                time.sleep(
+                    self._backoff_seconds(min_retry_attempt, queue[0][0])
+                )
+
+        if inline_rest and queue:
+            # the pool is unrecoverable: graceful degradation to the
+            # inline path for whatever is still outstanding
+            with self._lock:
+                self._stats["inline_fallbacks"] += 1
+            faults["inline_fallback"] = True
+            _LOG.warning(
+                "worker pool failed %d time(s); executing the remaining "
+                "%d unit(s) inline",
+                broken_events,
+                sum(len(shard) for shard in queue),
+            )
+            for shard in queue:
+                for unit in shard:
+                    if owner[unit] in failures:
+                        continue
+                    if unit_results[unit] is not None:
+                        continue
+                    experiment, exc, _ = self._execute_inline_with_retry(
+                        unit, units[unit], faults
+                    )
+                    if exc is not None:
+                        attempts[unit] += 1
+                        quarantine(unit, exc)
+                    else:
+                        complete_unit(unit, experiment)
+        return shard_count
 
     def run_batch(
         self,

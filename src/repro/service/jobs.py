@@ -46,6 +46,7 @@ from repro.utils.rng import derive_seed
 
 __all__ = [
     "CircuitJob",
+    "JobFailure",
     "SweepJob",
     "backend_config_digest",
     "circuit_fingerprint",
@@ -139,6 +140,41 @@ def describe_job(job: CircuitJob) -> str:
     if job.tag is not None:
         parts.append(f"tag={job.tag!r}")
     return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """The record of one quarantined job — picklable and JSON-friendly.
+
+    Carried by :class:`~repro.exceptions.QuarantineError` and surfaced
+    in ``metadata["service"]["faults"]["quarantined"]`` so a caller can
+    tell exactly which submissions died, why, and after how many
+    attempts — while the rest of the batch completed normally.
+    """
+
+    index: int
+    description: str
+    error: str
+    attempts: int
+
+    @classmethod
+    def from_exception(
+        cls, index: int, job: CircuitJob, exc: BaseException, attempts: int
+    ) -> "JobFailure":
+        return cls(
+            index=int(index),
+            description=describe_job(job),
+            error=f"{type(exc).__name__}: {exc}",
+            attempts=int(attempts),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "description": self.description,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
 
 
 @dataclass

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from repro.backends.engine import adopt_method_budgets
 from repro.exceptions import BackendError, ReproError
+from repro.service.faults import FaultPolicy
 from repro.service.jobs import CircuitJob, describe_job
 from repro.utils.cache import cache_stats_totals
 
@@ -85,6 +86,8 @@ class ShardResult:
     cache_totals: dict
     wall_seconds: float
     jobs_run: int
+    #: why this worker's warm-up failed, or ``None`` (it ran cold if set)
+    warm_error: str | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -119,6 +122,7 @@ def _initialize_worker(
     spec: tuple[str, object],
     warm_blob: bytes | None,
     method_budgets: dict | None = None,
+    fault_policy: FaultPolicy | None = None,
 ) -> None:
     """Pool initializer: build the backend once per process and warm it.
 
@@ -129,9 +133,18 @@ def _initialize_worker(
     subsequent shard on this worker will hit, without paying a full
     simulation (a big trajectory-method circuit must never be warmed
     through the 4^n density-matrix path).
+
+    A warm-up failure must never break the pool initializer (the job's
+    own run will surface any real error diagnosably), but it must not
+    be silent either: the failure is recorded on the worker state and
+    travels back to the parent with every shard result, surfacing as
+    ``warm_error`` in the per-worker service metadata so an
+    unexpectedly cold worker is visible instead of just slow.
     """
     backend = _realize_backend(spec)
     _WORKER["backend"] = backend
+    _WORKER["fault_policy"] = fault_policy
+    _WORKER["warm_error"] = None
     if method_budgets:
         # adopt the parent's per-method qubit budgets so the warm run's
         # "auto" resolves identically on both sides of the process
@@ -144,14 +157,15 @@ def _initialize_worker(
     if warm_blob is not None:
         circuit, method = pickle.loads(warm_blob)
         try:
+            if fault_policy is not None:
+                # kill is disallowed here: a policy that killed every
+                # warming worker could never build a pool at all
+                fault_policy.apply("warm", -1, 0, allow_kill=False)
             backend.run(
                 circuit, shots=1, seeds=[0], method=method, trajectories=1
             )
-        except Exception:
-            # unwarmable circuit: shards still run, just cold — a warm
-            # failure must never break the pool initializer (the job's
-            # own run will surface any real error diagnosably)
-            pass
+        except Exception as exc:
+            _WORKER["warm_error"] = f"{type(exc).__name__}: {exc}"
     _WORKER["baseline"] = cache_stats_totals()
 
 
@@ -202,26 +216,40 @@ def run_job_on_backend(backend, job: CircuitJob):
 
 
 def _run_shard(
-    indexed_jobs: Sequence[tuple[int, CircuitJob]],
+    indexed_jobs: Sequence[tuple[int, CircuitJob, int]],
     method_budgets: dict | None = None,
+    fault_policy: FaultPolicy | None = None,
 ) -> ShardResult:
     """Pool task: execute one shard of jobs on this worker's backend.
+
+    ``indexed_jobs`` entries are ``(unit_index, job, attempt)`` — the
+    attempt number is assigned by the parent's retry loop and keys the
+    deterministic fault policy, so injected chaos is identical no
+    matter which worker a retry lands on.
 
     ``method_budgets`` is the parent's per-method qubit-budget snapshot
     taken when the shard was dispatched.  Adopting it here — rather
     than only once in the pool initializer — means
     ``set_method_qubit_budget`` calls made in the parent *after* the
     pool started still govern every job: budgets travel with the work,
-    not with the worker.
+    not with the worker.  The fault policy travels the same way and
+    falls back to the pool initializer's copy.
     """
     backend = _WORKER.get("backend")
     if backend is None:
         raise BackendError("worker used before initialization")
     if method_budgets is not None:
         adopt_method_budgets(method_budgets)
+    policy = (
+        fault_policy
+        if fault_policy is not None
+        else _WORKER.get("fault_policy")
+    )
     start = time.perf_counter()
     experiments = []
-    for index, job in indexed_jobs:
+    for index, job, attempt in indexed_jobs:
+        if policy is not None:
+            policy.apply("job", index, attempt, tag=job.tag)
         experiments.append((index, run_job_on_backend(backend, job)))
     return ShardResult(
         experiments=experiments,
@@ -229,4 +257,5 @@ def _run_shard(
         cache_totals=_worker_cache_totals(),
         wall_seconds=time.perf_counter() - start,
         jobs_run=len(experiments),
+        warm_error=_WORKER.get("warm_error"),
     )

@@ -93,6 +93,11 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.errors = 0
+
+    def note_error(self) -> None:
+        """Count one I/O failure (reads here, writes via the service)."""
+        self.errors += 1
 
     # ------------------------------------------------------------------
     def _paths(self, key: str) -> tuple[Path, Path]:
@@ -111,11 +116,22 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> ExperimentResult | None:
-        """Load a stored result, or ``None`` on a miss."""
+        """Load a stored result, or ``None`` on a miss.
+
+        Unreadable entries — permissions, I/O errors, torn external
+        edits of the JSON or npz payload — degrade to misses (counted
+        in ``errors``) rather than raising: the job they would have
+        served simply recomputes, because entries are immutable replays
+        of deterministic work, never the only copy of anything.
+        """
         json_path, npz_path = self._paths(key)
         try:
             payload = json.loads(json_path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.note_error()
             self.misses += 1
             return None
         if payload.get("format") != _FORMAT:
@@ -127,6 +143,12 @@ class ResultStore:
                 with np.load(npz_path) as data:
                     arrays = {name: data[name] for name in data.files}
             except FileNotFoundError:
+                self.misses += 1
+                return None
+            except (OSError, ValueError, KeyError):
+                # torn or truncated npz: np.load raises zipfile/format
+                # errors that all derive from these
+                self.note_error()
                 self.misses += 1
                 return None
         self.hits += 1
@@ -194,6 +216,7 @@ class ResultStore:
             "entries": len(self),
             "hits": self.hits,
             "misses": self.misses,
+            "errors": self.errors,
         }
 
     def __repr__(self) -> str:

@@ -362,7 +362,7 @@ class TestSliceErrorNamesParentJob:
         set_method_qubit_budget("trajectory", 3)
         try:
             with pytest.raises(BackendError) as excinfo:
-                _run_shard([(0, self.subjob())])
+                _run_shard([(0, self.subjob(), 0)])
         finally:
             set_method_qubit_budget("trajectory", None)
         message = str(excinfo.value)

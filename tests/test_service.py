@@ -7,6 +7,8 @@ pytest.ini) but use quick configs so the whole module stays well under
 30 s — tier-1 (`pytest -x -q`) runs everything.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -19,11 +21,22 @@ from repro.core import (
     binary_search_mixer_duration,
     train_model,
 )
-from repro.exceptions import BackendError
+from repro.backends.engine import classify_error
+from repro.exceptions import (
+    BackendError,
+    QuarantineError,
+    ReproError,
+    TransientError,
+)
 from repro.problems import MaxCutProblem, benchmark_graph
 from repro.service import (
     CircuitJob,
     ExecutionService,
+    FaultInjected,
+    FaultPolicy,
+    FaultRule,
+    JobFailure,
+    PermanentFaultInjected,
     ResultStore,
     SweepJob,
     backend_config_digest,
@@ -477,6 +490,410 @@ class TestFuturesAPI:
                 SweepJob(sweep_circuits[:3], shots=SHOTS, seed=29)
             )
         assert counts_of(inline_results) == counts_of(pooled_results)
+
+
+# ---------------------------------------------------------------------------
+# fault tolerance: chaos tests against the deterministic fault harness
+# ---------------------------------------------------------------------------
+#
+# The invariant under test everywhere below: recovery is *silent* with
+# respect to results.  Whatever the injected failure — worker SIGKILL,
+# transient exceptions, hung shards, poison jobs, a dying store — the
+# surviving jobs' counts must be byte-identical to a clean ``jobs=1``
+# run, because retries re-execute the same pre-resolved seeds.
+
+@pytest.fixture(scope="module")
+def fault_jobs(sweep_circuits):
+    return SweepJob(sweep_circuits, shots=SHOTS, seed=7).jobs()
+
+
+@pytest.fixture(scope="module")
+def clean_counts(backend, fault_jobs):
+    """The jobs=1 no-faults reference every chaos test compares to."""
+    with ExecutionService(backend) as service:
+        experiments, meta = service.run_jobs(fault_jobs)
+    assert meta["faults"]["retries"] == 0
+    return counts_of(experiments)
+
+
+class TestFaultPolicy:
+    def test_rule_validation(self):
+        with pytest.raises(BackendError):
+            FaultRule("explode")
+        with pytest.raises(BackendError):
+            FaultRule("transient", scope="everywhere")
+        with pytest.raises(BackendError):
+            FaultRule("transient", rate=1.5)
+        with pytest.raises(BackendError):
+            FaultRule("transient", max_attempts=0)
+        with pytest.raises(BackendError):
+            FaultRule("delay", delay_seconds=-1.0)
+
+    def test_decisions_are_deterministic(self):
+        policy = FaultPolicy(
+            rules=(FaultRule("transient", rate=0.5, max_attempts=None),),
+            seed=11,
+        )
+        decisions = [
+            bool(policy.matching("job", unit, attempt))
+            for unit in range(20)
+            for attempt in range(3)
+        ]
+        assert decisions == [
+            bool(policy.matching("job", unit, attempt))
+            for unit in range(20)
+            for attempt in range(3)
+        ]
+        assert any(decisions) and not all(decisions)
+        # a different seed must reshuffle which (unit, attempt) pairs fire
+        other = FaultPolicy(
+            rules=(FaultRule("transient", rate=0.5, max_attempts=None),),
+            seed=12,
+        )
+        assert decisions != [
+            bool(other.matching("job", unit, attempt))
+            for unit in range(20)
+            for attempt in range(3)
+        ]
+
+    def test_max_attempts_stops_firing(self):
+        policy = FaultPolicy(rules=(FaultRule("transient", max_attempts=2),))
+        assert policy.matching("job", 0, 0)
+        assert policy.matching("job", 0, 1)
+        assert not policy.matching("job", 0, 2)
+
+    def test_match_tag_restricts_targets(self):
+        policy = FaultPolicy(
+            rules=(FaultRule("permanent", match_tag="poison"),)
+        )
+        assert not policy.matching("job", 0, 0, tag=None)
+        with pytest.raises(PermanentFaultInjected):
+            policy.apply("job", 0, 0, tag="poison")
+
+    def test_kill_downgrades_inline(self):
+        policy = FaultPolicy(rules=(FaultRule("kill"),))
+        # allow_kill=False must never os._exit this very process
+        with pytest.raises(FaultInjected):
+            policy.apply("job", 0, 0, allow_kill=False)
+
+    def test_policy_pickles(self):
+        import pickle
+
+        policy = FaultPolicy(
+            rules=(FaultRule("kill", rate=0.25, max_attempts=3),), seed=5
+        )
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+class TestErrorClassification:
+    def test_taxonomy(self):
+        assert classify_error(TransientError("blip")) == "transient"
+        assert classify_error(FaultInjected("blip")) == "transient"
+        assert classify_error(MemoryError()) == "permanent"
+        assert classify_error(ReproError("bad circuit")) == "permanent"
+        assert classify_error(BackendError("bad job")) == "permanent"
+        # unknown infrastructure errors retry (simulation is
+        # side-effect-free, so a bounded retry is always safe)
+        assert classify_error(OSError("pipe")) == "transient"
+
+
+@pytest.mark.faults
+class TestFaultRecoveryInline:
+    def test_transient_blip_retries_to_identical_counts(
+        self, backend, fault_jobs, clean_counts
+    ):
+        policy = FaultPolicy(rules=(FaultRule("transient", max_attempts=1),))
+        with ExecutionService(
+            backend, fault_policy=policy, retry_backoff=0.001
+        ) as service:
+            experiments, meta = service.run_jobs(fault_jobs)
+        assert counts_of(experiments) == clean_counts
+        assert meta["faults"]["retries"] == len(fault_jobs)
+        assert meta["faults"]["transient_errors"] == len(fault_jobs)
+
+    def test_exhausted_retries_quarantine(self, backend, fault_jobs):
+        policy = FaultPolicy(
+            rules=(FaultRule("transient", max_attempts=None),)
+        )
+        with ExecutionService(
+            backend, fault_policy=policy, retries=1, retry_backoff=0.001
+        ) as service:
+            with pytest.raises(QuarantineError) as excinfo:
+                service.run_jobs(fault_jobs)
+        failures = excinfo.value.failures
+        assert [f.index for f in failures] == list(range(len(fault_jobs)))
+        assert all(f.attempts == 2 for f in failures)  # retries + 1
+
+    def test_poison_job_fails_alone(
+        self, backend, fault_jobs, clean_counts
+    ):
+        tagged = [
+            replace(job, tag="poison") if index == 2 else job
+            for index, job in enumerate(fault_jobs)
+        ]
+        policy = FaultPolicy(
+            rules=(
+                FaultRule(
+                    "permanent", max_attempts=None, match_tag="poison"
+                ),
+            )
+        )
+        with ExecutionService(backend, fault_policy=policy) as service:
+            results, meta = service.run_jobs(
+                tagged, return_exceptions=True
+            )
+        assert isinstance(results[2], JobFailure)
+        assert results[2].index == 2
+        survivors = [r for i, r in enumerate(results) if i != 2]
+        reference = [c for i, c in enumerate(clean_counts) if i != 2]
+        assert counts_of(survivors) == reference
+        quarantined = meta["faults"]["quarantined"]
+        assert [entry["index"] for entry in quarantined] == [2]
+
+    def test_quarantine_error_is_descriptive(self, backend, fault_jobs):
+        tagged = [
+            replace(job, tag="poison") if index == 2 else job
+            for index, job in enumerate(fault_jobs)
+        ]
+        policy = FaultPolicy(
+            rules=(
+                FaultRule(
+                    "permanent", max_attempts=None, match_tag="poison"
+                ),
+            )
+        )
+        with ExecutionService(backend, fault_policy=policy) as service:
+            with pytest.raises(QuarantineError) as excinfo:
+                service.run_jobs(tagged)
+        error = excinfo.value
+        assert len(error.failures) == 1
+        assert "PermanentFaultInjected" in error.failures[0].error
+        assert set(error.failures[0].as_dict()) == {
+            "index", "description", "error", "attempts",
+        }
+        assert error.service_meta["faults"]["quarantined"]
+
+
+@pytest.mark.faults
+@pytest.mark.slow
+class TestFaultRecoveryPooled:
+    def test_transient_blip_recovers_byte_identical(
+        self, backend, fault_jobs, clean_counts
+    ):
+        policy = FaultPolicy(rules=(FaultRule("transient", max_attempts=1),))
+        with ExecutionService(
+            backend, jobs=2, fault_policy=policy, retry_backoff=0.001
+        ) as service:
+            experiments, meta = service.run_jobs(fault_jobs)
+        assert counts_of(experiments) == clean_counts
+        assert meta["faults"]["retries"] >= 1
+        assert meta["faults"]["pool_rebuilds"] == 0
+
+    def test_worker_kill_rebuilds_pool_byte_identical(
+        self, backend, fault_jobs, clean_counts
+    ):
+        # every first attempt dies by os._exit (the moral SIGKILL /
+        # OOM-kill of a live worker mid-batch): the parent must see
+        # BrokenProcessPool, rebuild, and resubmit the lost shards
+        policy = FaultPolicy(rules=(FaultRule("kill", max_attempts=1),))
+        with ExecutionService(
+            backend, jobs=2, fault_policy=policy, retry_backoff=0.001
+        ) as service:
+            experiments, meta = service.run_jobs(fault_jobs)
+        assert counts_of(experiments) == clean_counts
+        assert meta["faults"]["pool_rebuilds"] >= 1
+        assert meta["faults"]["inline_fallback"] is False
+
+    def test_shard_timeout_reclaims_hung_worker(
+        self, backend, fault_jobs, clean_counts
+    ):
+        # first attempts hang far beyond the per-unit budget; the
+        # service must time the shards out, terminate the hung workers
+        # and rerun on a fresh pool
+        policy = FaultPolicy(
+            rules=(
+                FaultRule("delay", delay_seconds=30.0, max_attempts=1),
+            )
+        )
+        with ExecutionService(
+            backend,
+            jobs=2,
+            fault_policy=policy,
+            retry_backoff=0.001,
+            shard_timeout=2.0,
+        ) as service:
+            experiments, meta = service.run_jobs(fault_jobs)
+        assert counts_of(experiments) == clean_counts
+        assert meta["faults"]["timeouts"] >= 1
+        assert meta["faults"]["pool_rebuilds"] >= 1
+
+    def test_poison_job_bisected_out_of_shard(
+        self, backend, fault_jobs, clean_counts
+    ):
+        # shards_per_worker=1 packs three jobs per shard, so the poison
+        # job first fails as part of a multi-job shard and must be
+        # narrowed down by bisection before it can be quarantined alone
+        tagged = [
+            replace(job, tag="poison") if index == 1 else job
+            for index, job in enumerate(fault_jobs)
+        ]
+        policy = FaultPolicy(
+            rules=(
+                FaultRule(
+                    "permanent", max_attempts=None, match_tag="poison"
+                ),
+            )
+        )
+        with ExecutionService(
+            backend,
+            jobs=2,
+            shards_per_worker=1,
+            fault_policy=policy,
+            retry_backoff=0.001,
+        ) as service:
+            results, meta = service.run_jobs(
+                tagged, return_exceptions=True
+            )
+        assert isinstance(results[1], JobFailure)
+        survivors = [r for i, r in enumerate(results) if i != 1]
+        reference = [c for i, c in enumerate(clean_counts) if i != 1]
+        assert counts_of(survivors) == reference
+        assert [e["index"] for e in meta["faults"]["quarantined"]] == [1]
+
+    def test_repeated_pool_loss_degrades_to_inline(
+        self, backend, fault_jobs, clean_counts
+    ):
+        # with a zero rebuild budget, the first broken pool must push
+        # the whole remaining batch onto the inline path — where the
+        # kill rule downgrades to a transient and retries succeed
+        policy = FaultPolicy(rules=(FaultRule("kill", max_attempts=2),))
+        with ExecutionService(
+            backend,
+            jobs=2,
+            fault_policy=policy,
+            retry_backoff=0.001,
+            max_pool_rebuilds=0,
+        ) as service:
+            experiments, meta = service.run_jobs(fault_jobs)
+        assert counts_of(experiments) == clean_counts
+        assert meta["faults"]["inline_fallback"] is True
+        assert service.stats()["inline_fallbacks"] == 1
+
+    def test_submit_path_retries_transients(
+        self, backend, fault_jobs, clean_counts
+    ):
+        policy = FaultPolicy(rules=(FaultRule("transient", max_attempts=1),))
+        with ExecutionService(
+            backend, jobs=2, fault_policy=policy, retry_backoff=0.001
+        ) as service:
+            futures = [service.submit(job) for job in fault_jobs]
+            experiments = [f.result(timeout=120) for f in futures]
+        assert counts_of(experiments) == clean_counts
+        assert service.stats()["retries"] >= 1
+
+    def test_warm_failure_surfaces_in_worker_metadata(
+        self, backend, fault_jobs, clean_counts
+    ):
+        # a warm-up failure must not break the pool (jobs still run,
+        # just cold) but must be visible per worker, not swallowed
+        policy = FaultPolicy(
+            rules=(FaultRule("transient", scope="warm", max_attempts=None),)
+        )
+        with ExecutionService(
+            backend, jobs=2, fault_policy=policy
+        ) as service:
+            experiments, meta = service.run_jobs(fault_jobs)
+        assert counts_of(experiments) == clean_counts
+        warm_errors = [
+            worker.get("warm_error")
+            for worker in meta["per_worker"].values()
+        ]
+        assert warm_errors and all(
+            "FaultInjected" in (message or "") for message in warm_errors
+        )
+
+
+@pytest.mark.faults
+@pytest.mark.slow
+class TestStoreResilience:
+    def test_crashed_batch_resumes_from_checkpoints(
+        self, backend, fault_jobs, clean_counts, tmp_path
+    ):
+        # first run dies on a poison job, but every completed shard was
+        # already checkpointed; the resubmitted batch must serve the
+        # survivors from the store and execute only the missing job
+        tagged = [
+            replace(job, tag="poison") if index == 2 else job
+            for index, job in enumerate(fault_jobs)
+        ]
+        policy = FaultPolicy(
+            rules=(
+                FaultRule(
+                    "permanent", max_attempts=None, match_tag="poison"
+                ),
+            )
+        )
+        store_root = tmp_path / "store"
+        with ExecutionService(
+            backend,
+            jobs=2,
+            store=ResultStore(store_root),
+            fault_policy=policy,
+        ) as service:
+            with pytest.raises(QuarantineError):
+                service.run_jobs(tagged)
+        assert len(ResultStore(store_root)) == len(fault_jobs) - 1
+        with ExecutionService(
+            backend, jobs=2, store=ResultStore(store_root)
+        ) as resumed:
+            experiments, meta = resumed.run_jobs(fault_jobs)
+        assert counts_of(experiments) == clean_counts
+        assert meta["store_hits"] == len(fault_jobs) - 1
+        assert resumed.stats()["jobs_run"] == 1
+
+    def test_store_write_failure_degrades_not_kills(
+        self, backend, fault_jobs, clean_counts, tmp_path
+    ):
+        class FullDiskStore(ResultStore):
+            def put(self, key, experiment):
+                raise OSError("disk full")
+
+        with ExecutionService(
+            backend, jobs=2, store=FullDiskStore(tmp_path / "bad")
+        ) as service:
+            experiments, meta = service.run_jobs(fault_jobs)
+        assert counts_of(experiments) == clean_counts
+        assert meta["store_degraded"] is True
+        assert service.stats()["store"]["errors"] == 1
+
+    def test_store_read_failure_degrades_not_kills(
+        self, backend, fault_jobs, clean_counts, tmp_path
+    ):
+        class UnreadableStore(ResultStore):
+            def get(self, key):
+                raise OSError("I/O error")
+
+        with ExecutionService(
+            backend, store=UnreadableStore(tmp_path / "bad")
+        ) as service:
+            experiments, meta = service.run_jobs(fault_jobs)
+        assert counts_of(experiments) == clean_counts
+        assert meta["store_degraded"] is True
+
+    def test_torn_store_entry_is_a_counted_miss(
+        self, backend, fault_jobs, tmp_path
+    ):
+        store = ResultStore(tmp_path / "store")
+        with ExecutionService(backend, store=store) as service:
+            service.run_jobs(fault_jobs[:1])
+        (json_path,) = list(store.root.glob("??/*.json"))
+        json_path.write_text("{ torn mid-write")
+        fresh = ResultStore(store.root)
+        with ExecutionService(backend, store=fresh) as service:
+            experiments, _ = service.run_jobs(fault_jobs[:1])
+        assert experiments[0] is not None
+        assert fresh.errors == 1
+        assert fresh.stats()["errors"] == 1
 
 
 # ---------------------------------------------------------------------------
