@@ -63,7 +63,7 @@ from repro.utils.linalg import apply_matrix_to_qubits
 from repro.utils.kernels import marginalize
 
 #: bump when entry shapes change so downstream tooling can tell
-SCHEMA = {"name": "bench_engine", "version": 4}
+SCHEMA = {"name": "bench_engine", "version": 5}
 
 RESULTS: dict[str, dict] = {"schema": dict(SCHEMA)}
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -547,6 +547,187 @@ def _run_trajectory_16q(trajectories):
 
 
 # ---------------------------------------------------------------------------
+# telemetry overhead
+# ---------------------------------------------------------------------------
+
+def test_bench_telemetry_overhead():
+    """Enabled-telemetry cost on the warm hybrid-QAOA sweep.
+
+    Bounds the telemetry layer's enabled overhead at 5% of the warm
+    6-circuit sweep (the ``batched_sweep_6x`` workload).  The asserted
+    number is *derived*: per-primitive costs (one enabled span, one
+    persisted record — measured in tight loops, which are stable)
+    multiplied by the span/record counts one traced+recorded sweep
+    actually emits, over the sweep's floor wall-clock.  A direct
+    off-vs-on sweep comparison is reported alongside for context but
+    not asserted — the real overhead is well under 1% and container
+    scheduler noise is ±10%, so a direct assertion would gate CI on a
+    coin flip.  Byte-identity of the *results* is asserted separately
+    in tests/test_telemetry.py; this entry keeps the observation layer
+    honest about its price.
+    """
+    import tempfile
+
+    from repro.telemetry import collect_trace, iter_records, set_record_sink
+    from repro.telemetry.records import record as telemetry_record
+    from repro.telemetry.spans import span as telemetry_span
+
+    backend = FakeGuadalupe()
+    problem = MaxCutProblem(benchmark_graph(1))
+    model = HybridGatePulseModel(problem, backend.device)
+    base = model.initial_point(3)
+    circuits = [
+        model.build_circuit(np.concatenate([[gamma], base[1:]]))
+        for gamma in np.linspace(0.3, 1.5, 6)
+    ]
+    seeds = list(range(6))
+
+    def sweep():
+        return execute_circuits(
+            circuits,
+            backend.target,
+            noise_model=backend.noise_model,
+            shots=1024,
+            seeds=seeds,
+            unitary_provider=backend.pulse_unitary,
+        )
+
+    # -- per-primitive costs (tight loops: stable even on noisy boxes)
+    reps = 5000
+
+    def span_loop():
+        for _ in range(reps):
+            with telemetry_span("bench.overhead", a=1):
+                pass
+
+    with collect_trace("primitive-cost"):
+        span_cost = _best_of(span_loop, repeats=3, number=1) / reps
+    with tempfile.TemporaryDirectory() as tmp:
+        set_record_sink(tmp)
+        try:
+            record_cost = _best_of(
+                lambda: telemetry_record(
+                    "execute", method="density_matrix", qubits=6,
+                    depth=12, channels=3, shots=1024,
+                    wall_seconds=0.004, cpu_seconds=0.004,
+                ),
+                repeats=3,
+                number=2000,
+            )
+        finally:
+            set_record_sink(None)
+
+    # -- what one traced+recorded sweep actually emits
+    sweep()  # warm every cache layer
+    with tempfile.TemporaryDirectory() as tmp:
+        set_record_sink(tmp)
+        try:
+            with collect_trace("bench") as trace:
+                sweep()
+            records = sum(
+                1 for _ in iter_records(Path(tmp) / "records.jsonl")
+            )
+        finally:
+            set_record_sink(None)
+    span_count = sum(1 for _ in trace.iter_spans())
+
+    # -- direct comparison (informational), interleaved floors
+    off_s = math.inf
+    on_s = math.inf
+    with tempfile.TemporaryDirectory() as tmp:
+        for _ in range(5):
+            t0 = time.perf_counter()
+            sweep()
+            off_s = min(off_s, time.perf_counter() - t0)
+            set_record_sink(tmp)
+            try:
+                t0 = time.perf_counter()
+                with collect_trace("bench-direct"):
+                    sweep()
+                on_s = min(on_s, time.perf_counter() - t0)
+            finally:
+                set_record_sink(None)
+
+    added_s = span_count * span_cost + records * record_cost
+    overhead_pct = added_s / off_s * 100.0
+    RESULTS["telemetry_overhead"] = {
+        "telemetry_off_ms": round(off_s * 1e3, 4),
+        "telemetry_on_ms": round(on_s * 1e3, 4),
+        "direct_overhead_pct": round((on_s / off_s - 1.0) * 100.0, 2),
+        "span_cost_us": round(span_cost * 1e6, 3),
+        "record_cost_us": round(record_cost * 1e6, 3),
+        "spans_per_sweep": span_count,
+        "records_per_sweep": records,
+        "overhead_pct": round(overhead_pct, 3),
+        "method": "density_matrix",
+        "note": "overhead_pct = (spans x span cost + records x record "
+        "cost) / warm sweep floor; direct_overhead_pct is the raw "
+        "off-vs-on sweep comparison (noise-dominated, informational); "
+        "results are byte-identical either way "
+        "(tests/test_telemetry.py)",
+    }
+    _flush()
+    print(
+        f"telemetry_overhead: {span_count} spans x "
+        f"{span_cost * 1e6:.2f} us + {records} records x "
+        f"{record_cost * 1e6:.2f} us = {added_s * 1e3:.3f} ms on a "
+        f"{off_s * 1e3:.3f} ms sweep ({overhead_pct:.3f}%; direct "
+        f"off {off_s * 1e3:.3f} -> on {on_s * 1e3:.3f} ms)"
+    )
+    assert overhead_pct <= 5.0, (
+        f"enabled telemetry costs {overhead_pct:.3f}% > 5% budget on "
+        "the warm sweep"
+    )
+
+
+def _smoke_telemetry_artifacts():
+    """Write sample trace/records artifacts next to OUTPUT (CI upload).
+
+    A small pooled traced run so the artifacts show the full span
+    vocabulary — ``shard.dispatch`` grafting included — and a records
+    file the ``repro.telemetry report`` CLI can digest.
+    """
+    from repro.telemetry import (
+        collect_trace,
+        set_record_sink,
+        summarize_records,
+        iter_records,
+    )
+
+    backend = FakeGuadalupe()
+    circuits = [
+        _noisy_sweep_circuit(4, theta)
+        for theta in np.linspace(0.2, 1.0, 4)
+    ]
+    trace_path = OUTPUT.with_name("trace-sample.json")
+    records_path = OUTPUT.with_name("telemetry-records.jsonl")
+    records_path.unlink(missing_ok=True)
+    set_record_sink(records_path)
+    try:
+        with collect_trace("bench-smoke") as trace:
+            backend.run(circuits, shots=128, seed=0, jobs=2)
+    finally:
+        set_record_sink(None)
+        backend.close_services()
+    trace.save(trace_path)
+    summary = summarize_records(iter_records(records_path))
+    assert summary["total_records"] >= len(circuits)
+    RESULTS["telemetry_artifacts"] = {
+        "trace_path": trace_path.name,
+        "records_path": records_path.name,
+        "spans": sum(1 for _ in trace.iter_spans()),
+        "records": summary["total_records"],
+        "note": "sample artifacts for CI upload; see TELEMETRY.md",
+    }
+    _flush()
+    print(
+        f"telemetry artifacts: {trace_path.name} "
+        f"({RESULTS['telemetry_artifacts']['spans']} spans), "
+        f"{records_path.name} ({summary['total_records']} records)"
+    )
+
+
+# ---------------------------------------------------------------------------
 # stabilizer back-end (registry dispatch)
 # ---------------------------------------------------------------------------
 
@@ -717,6 +898,8 @@ def main(argv=None):
         _run_batched_vs_sequential(
             min_speedup=1.5, trajectories=32, repeats=2
         )
+        test_bench_telemetry_overhead()
+        _smoke_telemetry_artifacts()
         print(f"smoke ok; scratch results in {OUTPUT}")
         return
     if args.output is not None:
@@ -732,6 +915,7 @@ def main(argv=None):
     test_bench_adaptive_allocation_10q()
     test_bench_trajectory_16q_beyond_density_wall()
     test_bench_stabilizer_vs_trajectory_20q_clifford()
+    test_bench_telemetry_overhead()
     print(f"wrote {OUTPUT}")
 
 

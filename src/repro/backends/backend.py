@@ -37,6 +37,7 @@ from repro.pulsesim.calibration import (
     calibrate_x,
 )
 from repro.pulsesim.solver import drive_channel_propagator
+from repro.telemetry.spans import span as telemetry_span
 from repro.utils.cache import LRUCache, UnhashableKey, schedule_key
 from repro.utils.rng import derive_seed
 
@@ -121,57 +122,68 @@ class SimulatedBackend:
         """
         if isinstance(circuits, QuantumCircuit):
             circuits = [circuits]
-        if seeds is None:
-            seeds = [
-                derive_seed(seed, "run", index) if seed is not None else None
-                for index in range(len(circuits))
-            ]
-        if jobs > 1 and trajectory_slice is None and (
-            len(circuits) > 1
-            or (
-                circuits
-                and select_method(
-                    circuits[0],
-                    self.target,
-                    self.noise_model if with_noise else None,
-                    method,
-                )
-                == "trajectory"
-            )
+        with telemetry_span(
+            "backend.run",
+            backend=self.name,
+            circuits=len(circuits),
+            shots=int(shots),
+            jobs=int(jobs),
         ):
-            service = self.execution_service(jobs)
-            experiments, meta = service.run_batch(
+            if seeds is None:
+                seeds = [
+                    derive_seed(seed, "run", index)
+                    if seed is not None
+                    else None
+                    for index in range(len(circuits))
+                ]
+            if jobs > 1 and trajectory_slice is None and (
+                len(circuits) > 1
+                or (
+                    circuits
+                    and select_method(
+                        circuits[0],
+                        self.target,
+                        self.noise_model if with_noise else None,
+                        method,
+                    )
+                    == "trajectory"
+                )
+            ):
+                service = self.execution_service(jobs)
+                experiments, meta = service.run_batch(
+                    circuits,
+                    shots=shots,
+                    seeds=seeds,
+                    with_noise=with_noise,
+                    with_readout_error=with_readout_error,
+                    method=method,
+                    trajectories=trajectories,
+                    target_error=target_error,
+                    trajectory_batch=trajectory_batch,
+                )
+                return Result(
+                    experiments,
+                    backend_name=self.name,
+                    shots=shots,
+                    metadata={"service": meta},
+                )
+            experiments = execute_circuits(
                 circuits,
+                target=self.target,
+                noise_model=self.noise_model if with_noise else None,
                 shots=shots,
                 seeds=seeds,
-                with_noise=with_noise,
+                unitary_provider=self.pulse_unitary,
                 with_readout_error=with_readout_error,
                 method=method,
                 trajectories=trajectories,
                 target_error=target_error,
+                trajectory_slice=trajectory_slice,
                 trajectory_batch=trajectory_batch,
             )
             return Result(
-                experiments,
-                backend_name=self.name,
-                shots=shots,
-                metadata={"service": meta},
+                experiments, backend_name=self.name, shots=shots
             )
-        experiments = execute_circuits(
-            circuits,
-            target=self.target,
-            noise_model=self.noise_model if with_noise else None,
-            shots=shots,
-            seeds=seeds,
-            unitary_provider=self.pulse_unitary,
-            with_readout_error=with_readout_error,
-            method=method,
-            trajectories=trajectories,
-            target_error=target_error,
-            trajectory_slice=trajectory_slice,
-            trajectory_batch=trajectory_batch,
-        )
-        return Result(experiments, backend_name=self.name, shots=shots)
 
     def execution_service(self, jobs: int, **options):
         """This backend's persistent sharded execution service.

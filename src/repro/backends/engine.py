@@ -51,6 +51,7 @@ escape hatch and the registered alternatives.
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -94,6 +95,9 @@ from repro.simulators.trajectory import (
     run_trajectories_adaptive,
     sample_jitter_kicks,
 )
+from repro.telemetry.metrics import inc as metric_inc, observe as metric_observe
+from repro.telemetry.records import record as telemetry_record, recording_enabled
+from repro.telemetry.spans import span as telemetry_span
 from repro.utils.bitstrings import index_to_bitstring
 from repro.utils.kernels import marginalize
 from repro.utils.rng import as_generator, derive_seed
@@ -517,52 +521,106 @@ def execute_circuit(
     if trajectory_batch is not None and trajectory_batch < 1:
         raise BackendError("trajectory_batch must be >= 1")
     context = _context if _context is not None else _RunContext(target)
-    plan = _CircuitPlan(circuit, target)
-    resolved = select_method(circuit, target, noise_model, method, _plan=plan)
-    descriptor = method_descriptor(resolved)
-    if trajectory_slice is not None and resolved != "trajectory":
-        # a sliced sub-job running the full exact path would return
-        # full-shot counts per slice and the merge would multiply shots
-        raise BackendError(
-            f"trajectory_slice given but the resolved method is "
-            f"{resolved!r}; slices only apply to method='trajectory'"
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    with telemetry_span("engine.execute", shots=int(shots)) as exec_span:
+        with telemetry_span("engine.plan"):
+            plan = _CircuitPlan(circuit, target)
+        with telemetry_span("engine.select_method", requested=method):
+            resolved = select_method(
+                circuit, target, noise_model, method, _plan=plan
+            )
+        descriptor = method_descriptor(resolved)
+        if exec_span:
+            exec_span.annotate(
+                method=resolved,
+                qubits=plan.num_local,
+                depth=len(plan.layers),
+            )
+        if trajectory_slice is not None and resolved != "trajectory":
+            # a sliced sub-job running the full exact path would return
+            # full-shot counts per slice and the merge would multiply shots
+            raise BackendError(
+                f"trajectory_slice given but the resolved method is "
+                f"{resolved!r}; slices only apply to method='trajectory'"
+            )
+        check_qubit_budget(
+            resolved, plan.num_local, plan=plan, noise_model=noise_model
         )
-    check_qubit_budget(
-        resolved, plan.num_local, plan=plan, noise_model=noise_model
-    )
 
-    if not plan.measured_qubits:
-        return ExperimentResult(
-            Counts({}),
-            sum(plan.layer_durations),
-            metadata={
-                "active_qubits": plan.active_list,
-                "method": resolved,
-            },
+        if not plan.measured_qubits:
+            return ExperimentResult(
+                Counts({}),
+                sum(plan.layer_durations),
+                metadata={
+                    "active_qubits": plan.active_list,
+                    "method": resolved,
+                },
+            )
+
+        if resolved != "trajectory":
+            # like a pinned ``trajectories=`` count, the adaptive knobs
+            # configure the trajectory back-end only — but reject malformed
+            # values eagerly so typos don't ride along silently
+            resolve_trajectory_request(trajectories, target_error, shots)
+
+        with telemetry_span("engine.kernel", method=resolved):
+            result = descriptor.execute(
+                plan,
+                _ExecutionRequest(
+                    noise_model=noise_model,
+                    shots=shots,
+                    seed=seed,
+                    unitary_provider=unitary_provider,
+                    readout_relaxation_fraction=readout_relaxation_fraction,
+                    with_readout_error=with_readout_error,
+                    trajectories=trajectories,
+                    target_error=target_error,
+                    trajectory_slice=trajectory_slice,
+                    trajectory_batch=trajectory_batch,
+                    context=context,
+                ),
+            )
+    wall = time.perf_counter() - wall_start
+    metric_inc("engine.executions", method=resolved)
+    metric_observe(
+        "engine.execute_seconds", wall, method=resolved, qubits=plan.num_local
+    )
+    if recording_enabled():
+        telemetry_record(
+            "execute",
+            method=resolved,
+            qubits=plan.num_local,
+            depth=len(plan.layers),
+            channels=_noise_channel_count(plan, noise_model),
+            shots=int(shots),
+            trajectories=result.metadata.get("trajectories"),
+            wall_seconds=wall,
+            cpu_seconds=time.process_time() - cpu_start,
         )
+    return result
 
-    if resolved != "trajectory":
-        # like a pinned ``trajectories=`` count, the adaptive knobs
-        # configure the trajectory back-end only — but reject malformed
-        # values eagerly so typos don't ride along silently
-        resolve_trajectory_request(trajectories, target_error, shots)
 
-    return descriptor.execute(
-        plan,
-        _ExecutionRequest(
-            noise_model=noise_model,
-            shots=shots,
-            seed=seed,
-            unitary_provider=unitary_provider,
-            readout_relaxation_fraction=readout_relaxation_fraction,
-            with_readout_error=with_readout_error,
-            trajectories=trajectories,
-            target_error=target_error,
-            trajectory_slice=trajectory_slice,
-            trajectory_batch=trajectory_batch,
-            context=context,
-        ),
-    )
+def _noise_channel_count(
+    plan: _CircuitPlan, noise_model: NoiseModel | None
+) -> int:
+    """Count of per-gate noise channels the circuit attracts.
+
+    Telemetry-record bookkeeping only (the channel lookups are memoized
+    on the noise model); computed solely when recording is enabled.
+    """
+    if noise_model is None:
+        return 0
+    total = 0
+    for inst in plan.circuit.instructions:
+        op = inst.operation
+        if isinstance(op, (Barrier, Measure, Delay)):
+            continue
+        if isinstance(op, PulseGate):
+            total += 1
+        else:
+            total += len(noise_model.gate_channels(op.name, inst.qubits))
+    return total
 
 
 def _execute_exact(
@@ -580,16 +638,17 @@ def _execute_exact(
     context = request.context
     rng = as_generator(request.seed)
     effective_noise = noise_model if resolved == "density_matrix" else None
-    state, total_duration = _evolve_exact(
-        plan,
-        plan.circuit,
-        resolved,
-        effective_noise,
-        rng,
-        context,
-        request.unitary_provider,
-        plan.target,
-    )
+    with telemetry_span("engine.evolve", method=resolved):
+        state, total_duration = _evolve_exact(
+            plan,
+            plan.circuit,
+            resolved,
+            effective_noise,
+            rng,
+            context,
+            request.unitary_provider,
+            plan.target,
+        )
 
     measure_duration = max(
         context.measure_duration(q) for q in plan.measured_qubits
@@ -841,42 +900,49 @@ def _execute_trajectory(
             "run a trajectory slice: the total count is only known once "
             "the run converges; pin an integer trajectory count to slice"
         )
-    program, total_duration = _compile_trajectory_program(
-        plan,
-        plan.circuit,
-        noise_model,
-        request.unitary_provider,
-        request.readout_relaxation_fraction,
-        request.context,
-        plan.target,
-    )
+    with telemetry_span("engine.compile", method="trajectory"):
+        program, total_duration = _compile_trajectory_program(
+            plan,
+            plan.circuit,
+            noise_model,
+            request.unitary_provider,
+            request.readout_relaxation_fraction,
+            request.context,
+            plan.target,
+        )
     readout = _measured_readout(plan, request)
     measured_positions = [plan.local[q] for q in plan.measured_qubits]
     adaptive_info = None
     if total is None:
-        outcome_counts, adaptive_info = run_trajectories_adaptive(
-            program,
-            shots,
-            request.seed,
-            measured_positions=measured_positions,
-            readout=readout,
-            target_error=resolved_target_error,
-            round_size=ADAPTIVE_ROUND_TRAJECTORIES,
-            max_trajectories=ADAPTIVE_MAX_TRAJECTORIES,
-            batch_size=request.trajectory_batch,
-        )
-        total = adaptive_info["trajectories"]
+        with telemetry_span("trajectory.run", adaptive=True) as run_span:
+            outcome_counts, adaptive_info = run_trajectories_adaptive(
+                program,
+                shots,
+                request.seed,
+                measured_positions=measured_positions,
+                readout=readout,
+                target_error=resolved_target_error,
+                round_size=ADAPTIVE_ROUND_TRAJECTORIES,
+                max_trajectories=ADAPTIVE_MAX_TRAJECTORIES,
+                batch_size=request.trajectory_batch,
+            )
+            total = adaptive_info["trajectories"]
+            if run_span:
+                run_span.annotate(trajectories=total)
     else:
-        outcome_counts = run_trajectories(
-            program,
-            shots,
-            total,
-            request.seed,
-            measured_positions=measured_positions,
-            readout=readout,
-            trajectory_slice=trajectory_slice,
-            batch_size=request.trajectory_batch,
-        )
+        with telemetry_span(
+            "trajectory.run", adaptive=False, trajectories=total
+        ):
+            outcome_counts = run_trajectories(
+                program,
+                shots,
+                total,
+                request.seed,
+                measured_positions=measured_positions,
+                readout=readout,
+                trajectory_slice=trajectory_slice,
+                batch_size=request.trajectory_batch,
+            )
     observed = sorted(outcome_counts)
     counts = _assemble_counts(
         np.array(observed, dtype=np.int64),
@@ -1056,22 +1122,24 @@ def _compile_stabilizer_program(
 def _execute_stabilizer(
     plan: _CircuitPlan, request: _ExecutionRequest
 ) -> ExperimentResult:
-    program, total_duration = _compile_stabilizer_program(
-        plan,
-        plan.circuit,
-        request.noise_model,
-        request.unitary_provider,
-        request.readout_relaxation_fraction,
-        request.context,
-        plan.target,
-    )
-    outcome_counts, per_shot = run_stabilizer_program(
-        program,
-        request.shots,
-        request.seed,
-        [plan.local[q] for q in plan.measured_qubits],
-        readout=_measured_readout(plan, request),
-    )
+    with telemetry_span("engine.compile", method="stabilizer"):
+        program, total_duration = _compile_stabilizer_program(
+            plan,
+            plan.circuit,
+            request.noise_model,
+            request.unitary_provider,
+            request.readout_relaxation_fraction,
+            request.context,
+            plan.target,
+        )
+    with telemetry_span("stabilizer.run", shots=int(request.shots)):
+        outcome_counts, per_shot = run_stabilizer_program(
+            program,
+            request.shots,
+            request.seed,
+            [plan.local[q] for q in plan.measured_qubits],
+            readout=_measured_readout(plan, request),
+        )
     observed = sorted(outcome_counts)
     counts = _assemble_counts(
         np.array(observed, dtype=np.int64),

@@ -91,6 +91,22 @@ def main(argv: list[str] | None = None) -> int:
         "allocation stops at (implies --trajectories auto; "
         "default 0.02 when auto is requested bare)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="collect an execution trace and write the span tree as "
+        "JSON to PATH (see TELEMETRY.md; results are byte-identical "
+        "with or without tracing)",
+    )
+    parser.add_argument(
+        "--telemetry-records",
+        metavar="PATH",
+        default=None,
+        help="append one JSONL telemetry record per execution to PATH "
+        "(a directory gets records.jsonl inside); inspect with "
+        "'python -m repro.telemetry report'",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -116,6 +132,30 @@ def main(argv: list[str] | None = None) -> int:
         target_error=args.target_error,
     )
     names = sorted(DRIVERS) if args.experiment == "all" else [args.experiment]
+    if args.telemetry_records is not None:
+        from repro.telemetry import set_record_sink
+
+        sink = set_record_sink(args.telemetry_records)
+        print(f"[telemetry records -> {sink}]")
+    trace_cm = None
+    trace = None
+    if args.trace is not None:
+        from repro.telemetry import collect_trace
+
+        trace_cm = collect_trace(args.experiment)
+        trace = trace_cm.__enter__()
+    try:
+        _run_experiments(names, config)
+    finally:
+        if trace_cm is not None:
+            trace_cm.__exit__(None, None, None)
+            trace.save(args.trace)
+            print(f"[trace ({sum(1 for _ in trace.iter_spans())} spans) "
+                  f"-> {args.trace}]")
+    return 0
+
+
+def _run_experiments(names: list[str], config: ExperimentConfig) -> None:
     for name in names:
         driver = DRIVERS[name]
         start = time.time()
@@ -142,7 +182,6 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 print("calibration data matches the paper exactly")
         print()
-    return 0
 
 
 if __name__ == "__main__":

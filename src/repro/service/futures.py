@@ -80,6 +80,9 @@ from repro.service.scheduler import (
     worker_backend_spec,
 )
 from repro.service.store import ResultStore
+from repro.telemetry import metrics as telemetry_metrics
+from repro.telemetry import records as telemetry_records
+from repro.telemetry import spans as telemetry_spans
 from repro.utils.cache import cache_stats_totals
 from repro.utils.rng import derive_seed
 
@@ -291,7 +294,9 @@ class ExecutionService:
             for _ in range(count):
                 self._pending_slots.acquire()
 
-    def _absorb_shard(self, shard: ShardResult) -> None:
+    def _absorb_shard(
+        self, shard: ShardResult, dispatched_at: float | None = None
+    ) -> None:
         with self._lock:
             self._stats["jobs_run"] += shard.jobs_run
             merged = dict(
@@ -308,12 +313,72 @@ class ExecutionService:
                 # the worker runs cold; say why instead of just "slow"
                 merged["warm_error"] = shard.warm_error
             self._stats["per_worker"][shard.worker_pid] = merged
+        self._absorb_shard_telemetry(shard, dispatched_at)
+
+    def _absorb_shard_telemetry(
+        self, shard: ShardResult, dispatched_at: float | None
+    ) -> None:
+        """Fold one shard's telemetry payloads into the parent process.
+
+        Metrics deltas merge into the parent registry (like cache
+        totals); buffered worker records persist here — the parent is
+        the sink's only writer; worker span trees graft under a
+        ``shard.dispatch`` span when a trace is being collected.  Queue
+        wait is worker pick-up time minus dispatch time (same-machine
+        wall clocks, so the difference is meaningful).
+        """
+        telemetry_metrics.merge_snapshot(shard.metrics)
+        telemetry_records.write_records(shard.records)
+        queue_wait = None
+        if dispatched_at is not None and shard.started_at:
+            queue_wait = max(0.0, shard.started_at - dispatched_at)
+            telemetry_metrics.observe(
+                "service.shard_queue_wait_seconds", queue_wait
+            )
+        if shard.trace_spans is None:
+            return
+        attrs = {
+            "worker_pid": shard.worker_pid,
+            "jobs": shard.jobs_run,
+        }
+        if queue_wait is not None:
+            attrs["queue_wait_seconds"] = round(queue_wait, 6)
+        dispatch_span = telemetry_spans.record_span(
+            "shard.dispatch",
+            wall_seconds=shard.wall_seconds,
+            children=shard.trace_spans,
+            **attrs,
+        )
+        if dispatch_span is not None and shard.warm_info is not None:
+            # shipped with the worker's first shard only, so the warm-up
+            # appears exactly once per worker in the trace
+            warm = telemetry_spans.Span(
+                "worker.warm",
+                {
+                    "worker_pid": shard.worker_pid,
+                    "error": shard.warm_info.get("error"),
+                },
+            )
+            warm.wall_seconds = float(
+                shard.warm_info.get("wall_seconds", 0.0)
+            )
+            dispatch_span.children.insert(0, warm)
+
+    @staticmethod
+    def _telemetry_flags() -> tuple[bool, bool]:
+        """The (tracing, recording) state a shard dispatch should mirror."""
+        return (
+            telemetry_spans.tracing_enabled(),
+            telemetry_records.recording_enabled(),
+        )
 
     def _note_fault(self, faults: dict, key: str, count: int = 1) -> None:
         """Count one fault event in the batch dict and service totals."""
         faults[key] += count
         with self._lock:
             self._stats[key] += count
+        telemetry_metrics.inc("service.faults", count, kind=key)
+        telemetry_spans.record_span("service.fault", kind=key)
 
     def _backoff_seconds(self, attempt: int, unit_index: int) -> float:
         """Exponential backoff with deterministic jitter.
@@ -331,7 +396,14 @@ class ExecutionService:
         return min(base * (1.0 + frac), _MAX_BACKOFF_SECONDS)
 
     def stats(self) -> dict:
-        """Service counters plus store and (inline) cache statistics."""
+        """Service counters plus store, cache and telemetry statistics.
+
+        ``store_degraded`` is always present (``False`` when no store is
+        attached or it is healthy) and ``metrics`` carries the telemetry
+        registry snapshot — including worker-merged ``store.errors`` /
+        ``service.faults`` counters — so store degradation and fault
+        pressure are visible without grepping logs.
+        """
         with self._lock:
             out = {
                 "workers": self.workers,
@@ -341,11 +413,12 @@ class ExecutionService:
                     for k, v in self._stats.items()
                 },
             }
+        out["store_degraded"] = self._store_degraded
         if self.store is not None:
             out["store"] = self.store.stats()
-            out["store_degraded"] = self._store_degraded
         if not self.parallel:
             out["per_worker"] = {"inline": cache_stats_totals()}
+        out["metrics"] = telemetry_metrics.metrics_snapshot()
         return out
 
     # ------------------------------------------------------------------
@@ -357,6 +430,10 @@ class ExecutionService:
                 return
             self._store_degraded = True
         self.store.note_error()
+        telemetry_metrics.set_gauge("store.degraded", 1.0)
+        telemetry_spans.record_span(
+            "service.store_degraded", operation=operation
+        )
         _LOG.warning(
             "result store %s failed (%s: %s); continuing without the "
             "store for this service",
@@ -368,19 +445,24 @@ class ExecutionService:
     def _store_get(self, key: str | None):
         if key is None or self.store is None or self._store_degraded:
             return None
-        try:
-            return self.store.get(key)
-        except OSError as exc:
-            self._degrade_store("read", exc)
-            return None
+        with telemetry_spans.span("store.get") as store_span:
+            try:
+                experiment = self.store.get(key)
+            except OSError as exc:
+                self._degrade_store("read", exc)
+                return None
+            if store_span:
+                store_span.annotate(hit=experiment is not None)
+            return experiment
 
     def _store_put(self, key: str | None, experiment) -> None:
         if key is None or self.store is None or self._store_degraded:
             return
-        try:
-            self.store.put(key, experiment)
-        except OSError as exc:
-            self._degrade_store("write", exc)
+        with telemetry_spans.span("store.put"):
+            try:
+                self.store.put(key, experiment)
+            except OSError as exc:
+                self._degrade_store("write", exc)
 
     # ------------------------------------------------------------------
     # execution
@@ -570,17 +652,19 @@ class ExecutionService:
         executor = self._ensure_executor(warm_job=job)
         with self._lock:
             self._stats["shards_dispatched"] += 1
+        dispatched_at = time.time()
         shard_future = executor.submit(
             _run_shard,
             [(0, job, attempt)],
             method_qubit_budgets(),
             self.fault_policy,
+            self._telemetry_flags(),
         )
 
         def _resolve(done: Future) -> None:
             try:
                 shard: ShardResult = done.result()
-                self._absorb_shard(shard)
+                self._absorb_shard(shard, dispatched_at)
                 experiment = shard.experiments[0][1]
                 self._store_put(key, experiment)
             except BaseException as exc:
@@ -654,6 +738,14 @@ class ExecutionService:
         if self._closed:
             raise BackendError("service is shut down")
         jobs = list(jobs)
+        with telemetry_spans.span(
+            "service.run_jobs", jobs=len(jobs), workers=self.workers
+        ):
+            return self._run_jobs_inner(jobs, return_exceptions)
+
+    def _run_jobs_inner(
+        self, jobs: list, return_exceptions: bool
+    ) -> tuple[list, dict]:
         with self._lock:
             self._stats["jobs_submitted"] += len(jobs)
         start = time.perf_counter()
@@ -687,6 +779,10 @@ class ExecutionService:
                     )
                     with self._lock:
                         self._stats["quarantined"] += 1
+                    telemetry_metrics.inc("service.quarantines")
+                    telemetry_spans.record_span(
+                        "service.quarantine", index=index
+                    )
                     continue
                 results[index] = experiment
                 self._store_put(keys[index], experiment)
@@ -726,6 +822,18 @@ class ExecutionService:
         }
         if self.store is not None:
             meta["store_degraded"] = self._store_degraded
+        if telemetry_records.recording_enabled():
+            telemetry_records.record(
+                "batch",
+                jobs=len(jobs),
+                workers=meta["workers"],
+                shards=shard_count,
+                trajectory_subjobs=subjob_count,
+                store_hits=store_hits,
+                quarantined=len(failures),
+                wall_seconds=meta["wall_seconds"],
+                faults={key: faults[key] for key in _FAULT_COUNTERS},
+            )
         if failures:
             ordered = [failures[index] for index in sorted(failures)]
             if return_exceptions:
@@ -810,6 +918,8 @@ class ExecutionService:
             )
             with self._lock:
                 self._stats["quarantined"] += 1
+            telemetry_metrics.inc("service.quarantines")
+            telemetry_spans.record_span("service.quarantine", index=own)
 
         queue: list[list[int]] = plan_shards(
             len(units),
@@ -897,7 +1007,7 @@ class ExecutionService:
                 )
                 continue
 
-            dispatched: list[tuple[list[int], Future, float]] = []
+            dispatched: list[tuple[list[int], Future, float, float]] = []
             for shard in queue:
                 indexed = [(u, units[u], attempts[u]) for u in shard]
                 self._acquire_slots(len(indexed))
@@ -911,6 +1021,7 @@ class ExecutionService:
                         indexed,
                         method_qubit_budgets(),
                         self.fault_policy,
+                        self._telemetry_flags(),
                     )
                 except BrokenExecutor as exc:
                     # the pool died under us mid-dispatch: this shard
@@ -930,10 +1041,12 @@ class ExecutionService:
                     lambda done, n=len(indexed): self._job_finished(n)
                 )
                 dispatched.append(
-                    (shard, shard_future, time.monotonic())
+                    (shard, shard_future, time.monotonic(), time.time())
                 )
 
-            for shard, shard_future, dispatch_time in dispatched:
+            for shard, shard_future, dispatch_time, dispatched_at in (
+                dispatched
+            ):
                 budget = (
                     None
                     if self.shard_timeout is None
@@ -973,7 +1086,7 @@ class ExecutionService:
                         self._note_fault(faults, "transient_errors")
                     fail_shard(shard, exc, permanent=permanent)
                 else:
-                    self._absorb_shard(shard_result)
+                    self._absorb_shard(shard_result, dispatched_at)
                     for unit, experiment in shard_result.experiments:
                         complete_unit(unit, experiment)
 

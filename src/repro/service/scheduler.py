@@ -23,12 +23,16 @@ import os
 import pickle
 import time
 from collections.abc import Sequence
+from contextlib import ExitStack
 from dataclasses import dataclass
 
 from repro.backends.engine import adopt_method_budgets
 from repro.exceptions import BackendError, ReproError
 from repro.service.faults import FaultPolicy
 from repro.service.jobs import CircuitJob, describe_job
+from repro.telemetry import metrics as telemetry_metrics
+from repro.telemetry import records as telemetry_records
+from repro.telemetry import spans as telemetry_spans
 from repro.utils.cache import cache_stats_totals
 
 __all__ = [
@@ -88,6 +92,18 @@ class ShardResult:
     jobs_run: int
     #: why this worker's warm-up failed, or ``None`` (it ran cold if set)
     warm_error: str | None = None
+    #: wall-clock when the worker picked the shard up (queue-wait basis)
+    started_at: float = 0.0
+    #: this shard's telemetry-metrics delta (always shipped, like caches)
+    metrics: dict | None = None
+    #: serialized worker-side span trees (only when the parent traces)
+    trace_spans: list | None = None
+    #: buffered telemetry records (only when the parent records)
+    records: list | None = None
+    #: one-shot worker warm-up info {"wall_seconds", "error"}, shipped
+    #: with this worker's FIRST shard only (the parent grafts it as a
+    #: ``worker.warm`` span exactly once per worker)
+    warm_info: dict | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -145,6 +161,13 @@ def _initialize_worker(
     _WORKER["backend"] = backend
     _WORKER["fault_policy"] = fault_policy
     _WORKER["warm_error"] = None
+    _WORKER["warm_info"] = None
+    # a fork-started child inherits the parent's live telemetry state
+    # (an active trace would make the shard's own collect_trace raise;
+    # an inherited record sink would have many processes appending the
+    # same file) — drop it; shards opt back in per dispatch
+    telemetry_spans._reset_state()
+    telemetry_records._reset_state()
     if method_budgets:
         # adopt the parent's per-method qubit budgets so the warm run's
         # "auto" resolves identically on both sides of the process
@@ -156,6 +179,7 @@ def _initialize_worker(
     # snapshot them so reported totals are this worker's own work
     if warm_blob is not None:
         circuit, method = pickle.loads(warm_blob)
+        warm_start = time.perf_counter()
         try:
             if fault_policy is not None:
                 # kill is disallowed here: a policy that killed every
@@ -166,6 +190,10 @@ def _initialize_worker(
             )
         except Exception as exc:
             _WORKER["warm_error"] = f"{type(exc).__name__}: {exc}"
+        _WORKER["warm_info"] = {
+            "wall_seconds": time.perf_counter() - warm_start,
+            "error": _WORKER["warm_error"],
+        }
     _WORKER["baseline"] = cache_stats_totals()
 
 
@@ -219,6 +247,7 @@ def _run_shard(
     indexed_jobs: Sequence[tuple[int, CircuitJob, int]],
     method_budgets: dict | None = None,
     fault_policy: FaultPolicy | None = None,
+    telemetry: tuple[bool, bool] = (False, False),
 ) -> ShardResult:
     """Pool task: execute one shard of jobs on this worker's backend.
 
@@ -234,6 +263,15 @@ def _run_shard(
     pool started still govern every job: budgets travel with the work,
     not with the worker.  The fault policy travels the same way and
     falls back to the pool initializer's copy.
+
+    ``telemetry`` is a ``(collect_spans, collect_records)`` pair
+    mirroring the parent's tracing/recording state at dispatch: the
+    worker collects its own span trees / record buffer and ships them
+    home in the result for the parent to graft and persist (workers
+    never write the record sink themselves — one writer, no
+    interleaving).  Metrics deltas always travel, like cache totals.
+    Telemetry flags never reach the engine's RNG path, so shard results
+    are byte-identical whatever the flags say.
     """
     backend = _WORKER.get("backend")
     if backend is None:
@@ -245,12 +283,29 @@ def _run_shard(
         if fault_policy is not None
         else _WORKER.get("fault_policy")
     )
+    want_spans, want_records = telemetry
+    metrics_base = telemetry_metrics.metrics_baseline()
+    started_at = time.time()
     start = time.perf_counter()
-    experiments = []
-    for index, job, attempt in indexed_jobs:
-        if policy is not None:
-            policy.apply("job", index, attempt, tag=job.tag)
-        experiments.append((index, run_job_on_backend(backend, job)))
+    trace = None
+    records_payload = None
+    with ExitStack() as stack:
+        if want_records:
+            records_payload = stack.enter_context(
+                telemetry_records.collect_records()
+            )
+        if want_spans:
+            trace = stack.enter_context(
+                telemetry_spans.collect_trace("shard")
+            )
+        experiments = _execute_indexed(backend, indexed_jobs, policy)
+    trace_payload = (
+        [root.as_dict() for root in trace.roots]
+        if trace is not None
+        else None
+    )
+    warm_info = _WORKER.get("warm_info")
+    _WORKER["warm_info"] = None  # first shard only
     return ShardResult(
         experiments=experiments,
         worker_pid=os.getpid(),
@@ -258,4 +313,22 @@ def _run_shard(
         wall_seconds=time.perf_counter() - start,
         jobs_run=len(experiments),
         warm_error=_WORKER.get("warm_error"),
+        started_at=started_at,
+        metrics=telemetry_metrics.metrics_delta(metrics_base),
+        trace_spans=trace_payload,
+        records=records_payload,
+        warm_info=warm_info,
     )
+
+
+def _execute_indexed(
+    backend, indexed_jobs: Sequence[tuple[int, CircuitJob, int]], policy
+) -> list:
+    """The shard job loop (span per job when the worker is tracing)."""
+    experiments = []
+    for index, job, attempt in indexed_jobs:
+        with telemetry_spans.span("job.run", index=index, attempt=attempt):
+            if policy is not None:
+                policy.apply("job", index, attempt, tag=job.tag)
+            experiments.append((index, run_job_on_backend(backend, job)))
+    return experiments

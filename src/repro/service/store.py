@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.backends.result import Counts, ExperimentResult
 from repro.exceptions import BackendError
+from repro.telemetry.metrics import inc as metric_inc
 
 __all__ = ["ResultStore"]
 
@@ -98,6 +99,15 @@ class ResultStore:
     def note_error(self) -> None:
         """Count one I/O failure (reads here, writes via the service)."""
         self.errors += 1
+        metric_inc("store.errors")
+
+    def _note_hit(self) -> None:
+        self.hits += 1
+        metric_inc("store.hits")
+
+    def _note_miss(self) -> None:
+        self.misses += 1
+        metric_inc("store.misses")
 
     # ------------------------------------------------------------------
     def _paths(self, key: str) -> tuple[Path, Path]:
@@ -128,14 +138,14 @@ class ResultStore:
         try:
             payload = json.loads(json_path.read_text())
         except FileNotFoundError:
-            self.misses += 1
+            self._note_miss()
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             self.note_error()
-            self.misses += 1
+            self._note_miss()
             return None
         if payload.get("format") != _FORMAT:
-            self.misses += 1
+            self._note_miss()
             return None
         arrays: dict = {}
         if payload.get("has_arrays"):
@@ -143,15 +153,15 @@ class ResultStore:
                 with np.load(npz_path) as data:
                     arrays = {name: data[name] for name in data.files}
             except FileNotFoundError:
-                self.misses += 1
+                self._note_miss()
                 return None
             except (OSError, ValueError, KeyError):
                 # torn or truncated npz: np.load raises zipfile/format
                 # errors that all derive from these
                 self.note_error()
-                self.misses += 1
+                self._note_miss()
                 return None
-        self.hits += 1
+        self._note_hit()
         return ExperimentResult(
             Counts(
                 {k: int(v) for k, v in payload["counts"].items()}
@@ -181,6 +191,7 @@ class ResultStore:
         self._atomic_write(
             json_path, (json.dumps(payload) + "\n").encode("utf-8")
         )
+        metric_inc("store.puts")
         return json_path
 
     @staticmethod

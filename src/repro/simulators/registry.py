@@ -54,7 +54,9 @@ __all__ = [
     "available_memory_bytes",
     "check_method_name",
     "check_qubit_budget",
+    "clear_cost_overrides",
     "default_method_qubit_budgets",
+    "method_cost",
     "method_descriptor",
     "method_names",
     "method_qubit_budget",
@@ -62,6 +64,7 @@ __all__ = [
     "rank_methods",
     "register_method",
     "registered_methods",
+    "set_cost_override",
     "set_method_qubit_budget",
     "unregister_method",
 ]
@@ -101,6 +104,9 @@ class MethodDescriptor:
 
 _REGISTRY: dict[str, MethodDescriptor] = {}
 _budget_overrides: dict[str, int] = {}
+#: opt-in per-method cost replacements (telemetry calibration installs
+#: fitted predicted-seconds models here; empty = shipped constants)
+_cost_overrides: dict[str, Callable] = {}
 
 
 def _ensure_builtins() -> None:
@@ -140,12 +146,13 @@ def register_method(
 
 
 def unregister_method(name: str) -> None:
-    """Remove a registered back-end (and its budget override)."""
+    """Remove a registered back-end (and its budget/cost overrides)."""
     _ensure_builtins()
     if name not in _REGISTRY:
         raise BackendError(f"simulation method {name!r} is not registered")
     del _REGISTRY[name]
     _budget_overrides.pop(name, None)
+    _cost_overrides.pop(name, None)
 
 
 def registered_methods() -> tuple[MethodDescriptor, ...]:
@@ -296,6 +303,37 @@ def check_qubit_budget(
 # auto dispatch ranking
 # ---------------------------------------------------------------------------
 
+def set_cost_override(method: str, cost: Callable | None) -> None:
+    """Replace (or with ``None`` restore) one method's cost model.
+
+    The override has the same ``cost(plan, noise_model) -> float``
+    signature as :attr:`MethodDescriptor.cost` and is consulted only by
+    ``auto`` ranking — never by capability checks or budgets.  This is
+    the opt-in hook telemetry calibration installs fitted
+    predicted-seconds models through
+    (:func:`repro.telemetry.calibration.use_calibrated_costs`); nothing
+    installs overrides by default, so shipped ``auto`` dispatch stays
+    reproducible.
+    """
+    method_descriptor(method)  # raises for unknown names
+    if cost is None:
+        _cost_overrides.pop(method, None)
+    else:
+        _cost_overrides[method] = cost
+
+
+def clear_cost_overrides() -> None:
+    """Drop every cost override, restoring the shipped cost models."""
+    _cost_overrides.clear()
+
+
+def method_cost(descriptor: MethodDescriptor, plan, noise_model) -> float:
+    """The cost ``auto`` ranking uses: the override when one is set."""
+    override = _cost_overrides.get(descriptor.name)
+    fn = override if override is not None else descriptor.cost
+    return float(fn(plan, noise_model))
+
+
 def rank_methods(plan, noise_model) -> list[MethodDescriptor]:
     """Candidate back-ends for ``auto``, best first.
 
@@ -305,8 +343,10 @@ def rank_methods(plan, noise_model) -> list[MethodDescriptor]:
        ``(plan, noise_model)`` pair are candidates;
     2. candidates within their qubit budget outrank ones that are not;
     3. exact candidates outrank ``statistical`` ones;
-    4. within a tier, lower ``cost(plan, noise_model)`` wins, with
-       registration order breaking ties.
+    4. within a tier, lower ``cost(plan, noise_model)`` wins — the
+       calibrated override when one is installed
+       (:func:`set_cost_override`) — with registration order breaking
+       ties.
 
     Rule 2 keeps a circuit nobody can afford resolving to the
     *cheapest* supporting method, so the budget error the execution
@@ -335,7 +375,7 @@ def rank_methods(plan, noise_model) -> list[MethodDescriptor]:
         return (
             over_budget,
             descriptor.statistical and not over_budget,
-            float(descriptor.cost(plan, noise_model)),
+            method_cost(descriptor, plan, noise_model),
             order,
         )
 

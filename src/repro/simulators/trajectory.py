@@ -47,6 +47,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.exceptions import SimulatorError
+from repro.telemetry.spans import span as telemetry_span
 from repro.utils.kernels import marginal_index_map, marginalize
 from repro.utils.rng import as_generator, derive_seed
 
@@ -623,33 +624,42 @@ def run_trajectories_adaptive(
         total = 0
         while True:
             grow_to = min(cap, total + round_size)
-            new = list(range(total, grow_to))
-            for t in new:
-                rngs.append(as_generator(derive_seed(seed, "traj", t)))
-            batch = (
-                default_batch_size(program.num_qubits, len(new))
-                if batch_size is None
-                else int(batch_size)
-            )
-            for pos in range(0, len(new), batch):
-                chunk = new[pos : pos + batch]
-                stack = _run_stack(program, [rngs[t] for t in chunk])
-                for row, t in enumerate(chunk):
-                    marginals.append(
-                        _final_marginal(
-                            stack[row],
-                            measured_positions,
-                            program.num_qubits,
-                            readout,
+            with telemetry_span(
+                "trajectory.round", start=total, stop=grow_to
+            ) as round_span:
+                new = list(range(total, grow_to))
+                for t in new:
+                    rngs.append(as_generator(derive_seed(seed, "traj", t)))
+                batch = (
+                    default_batch_size(program.num_qubits, len(new))
+                    if batch_size is None
+                    else int(batch_size)
+                )
+                for pos in range(0, len(new), batch):
+                    chunk = new[pos : pos + batch]
+                    stack = _run_stack(program, [rngs[t] for t in chunk])
+                    for row, t in enumerate(chunk):
+                        marginals.append(
+                            _final_marginal(
+                                stack[row],
+                                measured_positions,
+                                program.num_qubits,
+                                readout,
+                            )
+                        )
+                total = grow_to
+                rounds += 1
+                if total >= 2:
+                    sample = np.stack(marginals)
+                    achieved = float(
+                        (sample.std(axis=0, ddof=1) / math.sqrt(total)).max()
+                    )
+                if round_span:
+                    round_span.annotate(
+                        achieved_error=(
+                            None if math.isinf(achieved) else achieved
                         )
                     )
-            total = grow_to
-            rounds += 1
-            if total >= 2:
-                sample = np.stack(marginals)
-                achieved = float(
-                    (sample.std(axis=0, ddof=1) / math.sqrt(total)).max()
-                )
             if achieved <= target_error or total >= cap:
                 break
 

@@ -1,0 +1,104 @@
+"""Telemetry CLI: ``python -m repro.telemetry <command>``.
+
+Commands:
+
+- ``report <records.jsonl>`` — aggregate a JSONL record sink into
+  per-method wall-clock stats and batch/fault totals.
+- ``calibrate <records.jsonl>`` — fit per-method cost coefficients
+  (optionally ``--output calibration.json`` for reuse via
+  ``CostCalibration.load``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.telemetry.calibration import fit_cost_calibration
+from repro.telemetry.records import iter_records, summarize_records
+
+
+def _cmd_report(args) -> int:
+    summary = summarize_records(iter_records(args.records))
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    print(f"telemetry records: {summary['total_records']}")
+    if summary["methods"]:
+        print("per method/qubits (execute records):")
+        for key, stats in summary["methods"].items():
+            mean = stats["wall_seconds"] / max(1, stats["count"])
+            print(
+                f"  {key}: {stats['count']} runs, "
+                f"mean {mean * 1e3:.2f} ms, "
+                f"max {stats['max_wall_seconds'] * 1e3:.2f} ms"
+            )
+    batches = summary["batches"]
+    if batches["count"]:
+        print(
+            f"batches: {batches['count']} runs, {batches['jobs']} jobs, "
+            f"{batches['wall_seconds']:.2f} s total"
+        )
+        if batches["faults"]:
+            faults = ", ".join(
+                f"{k}={v}" for k, v in sorted(batches["faults"].items())
+            )
+            print(f"  faults: {faults}")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    calibration = fit_cost_calibration(
+        args.records, min_records=args.min_records
+    )
+    if args.output:
+        calibration.save(args.output)
+    json.dump(calibration.as_dict(), sys.stdout, indent=2, sort_keys=True)
+    print()
+    if not calibration.coefficients:
+        print(
+            f"no method reached {args.min_records} usable records; "
+            "shipped cost models remain in force",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Aggregate and calibrate persisted telemetry records.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="aggregate a JSONL record sink")
+    report.add_argument("records", help="path to records.jsonl")
+    report.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    report.set_defaults(fn=_cmd_report)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="fit per-method cost coefficients"
+    )
+    calibrate.add_argument("records", help="path to records.jsonl")
+    calibrate.add_argument(
+        "--min-records",
+        type=int,
+        default=5,
+        help="minimum usable records per method (default 5)",
+    )
+    calibrate.add_argument(
+        "--output", default=None, help="also save the calibration JSON here"
+    )
+    calibrate.set_defaults(fn=_cmd_calibrate)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,217 @@
+"""Fit per-method cost coefficients from accumulated telemetry records.
+
+The shipped cost models in the simulation-method registry are unitless
+work estimates (``2^n``, ``4^n``, ...).  They rank methods correctly in
+the common cases but know nothing about *this* machine: the relative
+constant between a dense statevector sweep and a stabilizer resampling
+loop differs across BLAS builds and core counts.  This module closes
+the loop: it fits one **seconds-per-work-unit coefficient per method**
+from persisted ``execute`` records (:mod:`repro.telemetry.records`) and
+can install the fitted models as registry cost overrides, turning
+``auto`` ranking into predicted-wall-clock ranking.
+
+The hook is **opt-in** (:func:`use_calibrated_costs`); nothing installs
+overrides by default, methods without enough samples keep their shipped
+cost model (the cold-start fallback), and seeded ``auto`` dispatch is
+byte-stable unless a caller deliberately opts in.
+
+Workflow::
+
+    set_record_sink(store_dir)            # accumulate records over runs
+    ... many executions ...
+    cal = fit_cost_calibration(record_sink())
+    use_calibrated_costs(cal)             # opt in: auto now ranks by
+                                          # predicted seconds
+    clear_calibrated_costs()              # back to shipped constants
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+from repro.simulators import registry
+from repro.telemetry.records import iter_records
+
+__all__ = [
+    "CostCalibration",
+    "clear_calibrated_costs",
+    "fit_cost_calibration",
+    "use_calibrated_costs",
+]
+
+#: nominal workload the shipped trajectory cost constant assumes
+NOMINAL_TRAJECTORIES = 128
+#: nominal shot count stabilizer predictions are normalized to
+NOMINAL_SHOTS = 1024
+
+
+def _unit_models() -> dict:
+    """Work-unit models per built-in method.
+
+    ``f(qubits, shots, trajectories) -> units`` mirrors how each
+    kernel's wall-clock actually scales (per-trajectory and per-shot
+    where the kernel loops over them), so one coefficient fits records
+    taken at any shot/trajectory count.
+    """
+    return {
+        "statevector": lambda q, s, t: 2.0**q,
+        "density_matrix": lambda q, s, t: 4.0**q,
+        "trajectory": lambda q, s, t: max(1, t) * 2.0**q,
+        "stabilizer": lambda q, s, t: max(1, s) * max(1, q) ** 2,
+    }
+
+
+class CostCalibration:
+    """Fitted seconds-per-work-unit coefficients, one per method."""
+
+    def __init__(
+        self,
+        coefficients: dict | None = None,
+        samples: dict | None = None,
+        fitted_at: float | None = None,
+    ) -> None:
+        self.coefficients: dict[str, float] = dict(coefficients or {})
+        self.samples: dict[str, int] = dict(samples or {})
+        self.fitted_at = time.time() if fitted_at is None else fitted_at
+
+    def predicted_seconds(
+        self,
+        method: str,
+        qubits: int,
+        shots: int = NOMINAL_SHOTS,
+        trajectories: int = NOMINAL_TRAJECTORIES,
+    ) -> float | None:
+        """Predicted wall-clock for one execution, or ``None`` if unfitted."""
+        coeff = self.coefficients.get(method)
+        model = _unit_models().get(method)
+        if coeff is None or model is None:
+            return None
+        return coeff * model(int(qubits), int(shots), int(trajectories))
+
+    def as_dict(self) -> dict:
+        return {
+            "format": "repro-cost-calibration-v1",
+            "fitted_at": round(self.fitted_at, 3),
+            "coefficients": {
+                k: self.coefficients[k] for k in sorted(self.coefficients)
+            },
+            "samples": {k: self.samples[k] for k in sorted(self.samples)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CostCalibration":
+        return cls(
+            coefficients={
+                str(k): float(v)
+                for k, v in (payload.get("coefficients") or {}).items()
+            },
+            samples={
+                str(k): int(v)
+                for k, v in (payload.get("samples") or {}).items()
+            },
+            fitted_at=float(payload.get("fitted_at", 0.0)),
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "CostCalibration":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def __repr__(self) -> str:
+        fitted = ", ".join(
+            f"{name}={coeff:.3g}s/u(n={self.samples.get(name, 0)})"
+            for name, coeff in sorted(self.coefficients.items())
+        )
+        return f"CostCalibration({fitted or 'unfitted'})"
+
+
+def fit_cost_calibration(records, min_records: int = 5) -> CostCalibration:
+    """Fit coefficients from ``execute`` telemetry records.
+
+    ``records`` is an iterable of record dicts or a path to a JSONL
+    sink.  Per method the coefficient is the **median** of observed
+    ``wall_seconds / work_units`` — robust to the cold-cache and
+    contended-machine outliers real records contain.  Methods with
+    fewer than ``min_records`` usable samples (or without a work-unit
+    model, e.g. plugins) are left unfitted and keep their shipped cost
+    model downstream.
+    """
+    if isinstance(records, (str, os.PathLike)):
+        records = iter_records(records)
+    models = _unit_models()
+    ratios: dict[str, list[float]] = {}
+    for payload in records:
+        if payload.get("kind") != "execute":
+            continue
+        method = str(payload.get("method", ""))
+        model = models.get(method)
+        if model is None:
+            continue
+        try:
+            qubits = int(payload.get("qubits", 0))
+            wall = float(payload.get("wall_seconds", 0.0))
+            shots = int(payload.get("shots", 0) or 0)
+            trajectories = int(payload.get("trajectories", 0) or 0)
+        except (TypeError, ValueError):
+            continue
+        if qubits < 1 or wall <= 0.0:
+            continue
+        units = model(qubits, shots, trajectories)
+        if units <= 0.0:
+            continue
+        ratios.setdefault(method, []).append(wall / units)
+    coefficients = {}
+    samples = {}
+    for method, values in ratios.items():
+        if len(values) < max(1, int(min_records)):
+            continue
+        coefficients[method] = statistics.median(values)
+        samples[method] = len(values)
+    return CostCalibration(coefficients=coefficients, samples=samples)
+
+
+def _calibrated_cost(coeff: float, model):
+    def cost(plan, noise_model):
+        qubits = int(getattr(plan, "num_local", 0) or 0)
+        # shots/trajectories are request-time knobs the plan cannot
+        # know; predictions use the nominal workload, which preserves
+        # the cross-method ordering the coefficients encode
+        return coeff * model(qubits, NOMINAL_SHOTS, NOMINAL_TRAJECTORIES)
+
+    return cost
+
+
+def use_calibrated_costs(calibration: CostCalibration) -> int:
+    """Install fitted coefficients as registry cost overrides (opt-in).
+
+    After this, ``auto`` ranking compares **predicted seconds** across
+    the fitted methods instead of the shipped unitless constants —
+    which can reorder methods whose real relative speed differs from
+    the shipped model.  Methods the calibration did not fit (or that
+    are not registered) are skipped and keep their shipped cost.
+    Returns the number of overrides installed.  Undo with
+    :func:`clear_calibrated_costs`.
+    """
+    models = _unit_models()
+    installed = 0
+    registered = set(registry.method_names())
+    for method, coeff in calibration.coefficients.items():
+        model = models.get(method)
+        if model is None or method not in registered:
+            continue
+        registry.set_cost_override(method, _calibrated_cost(coeff, model))
+        installed += 1
+    return installed
+
+
+def clear_calibrated_costs() -> None:
+    """Remove every calibrated override, restoring shipped cost models."""
+    registry.clear_cost_overrides()
