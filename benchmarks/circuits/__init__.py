@@ -1,0 +1,1 @@
+"""Reusable benchmark circuit generators (imported by bench scripts)."""

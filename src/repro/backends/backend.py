@@ -93,6 +93,7 @@ class SimulatedBackend:
         target_error: float | None = None,
         trajectory_slice: tuple[int, int] | None = None,
         trajectory_batch: int | None = None,
+        stabilizer_shot_batch: int | None = None,
     ) -> Result:
         """Execute one or more circuits and return sampled counts.
 
@@ -111,6 +112,9 @@ class SimulatedBackend:
         ``trajectories="auto"`` enables adaptive allocation: rounds of
         trajectories run until the counts-distribution standard error
         meets ``target_error`` (see PERFORMANCE.md).
+        ``stabilizer_shot_batch`` bounds the tableau back-end's
+        phase-batched shot kernel (``1`` = the sequential reference;
+        counts are byte-identical at every value).
 
         ``jobs > 1`` shards the batch across the backend's persistent
         :class:`~repro.service.futures.ExecutionService` worker pool —
@@ -160,6 +164,7 @@ class SimulatedBackend:
                     trajectories=trajectories,
                     target_error=target_error,
                     trajectory_batch=trajectory_batch,
+                    stabilizer_shot_batch=stabilizer_shot_batch,
                 )
                 return Result(
                     experiments,
@@ -180,6 +185,7 @@ class SimulatedBackend:
                 target_error=target_error,
                 trajectory_slice=trajectory_slice,
                 trajectory_batch=trajectory_batch,
+                stabilizer_shot_batch=stabilizer_shot_batch,
             )
             return Result(
                 experiments, backend_name=self.name, shots=shots

@@ -465,6 +465,7 @@ class _ExecutionRequest:
         "target_error",
         "trajectory_slice",
         "trajectory_batch",
+        "stabilizer_shot_batch",
         "context",
     )
 
@@ -478,6 +479,7 @@ class _ExecutionRequest:
     target_error: float | None
     trajectory_slice: tuple[int, int] | None
     trajectory_batch: int | None
+    stabilizer_shot_batch: int | None
     context: _RunContext
 
 
@@ -495,6 +497,7 @@ def execute_circuit(
     target_error: float | None = None,
     trajectory_slice: tuple[int, int] | None = None,
     trajectory_batch: int | None = None,
+    stabilizer_shot_batch: int | None = None,
     _context: _RunContext | None = None,
 ) -> ExperimentResult:
     """Run one circuit and sample measurement outcomes.
@@ -517,9 +520,14 @@ def execute_circuit(
     to ``target_error``.  ``trajectory_batch`` bounds how many
     trajectories the batched kernel stacks per call (``1`` = the
     sequential reference loop; counts are byte-identical either way).
+    ``stabilizer_shot_batch`` is the tableau back-end's analogue: how
+    many shots its phase-batched kernel stacks per round — likewise
+    byte-identical at every value, with ``1`` the sequential reference.
     """
     if trajectory_batch is not None and trajectory_batch < 1:
         raise BackendError("trajectory_batch must be >= 1")
+    if stabilizer_shot_batch is not None and stabilizer_shot_batch < 1:
+        raise BackendError("stabilizer_shot_batch must be >= 1")
     context = _context if _context is not None else _RunContext(target)
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
@@ -578,6 +586,7 @@ def execute_circuit(
                     target_error=target_error,
                     trajectory_slice=trajectory_slice,
                     trajectory_batch=trajectory_batch,
+                    stabilizer_shot_batch=stabilizer_shot_batch,
                     context=context,
                 ),
             )
@@ -1139,6 +1148,7 @@ def _execute_stabilizer(
             request.seed,
             [plan.local[q] for q in plan.measured_qubits],
             readout=_measured_readout(plan, request),
+            shot_batch=request.stabilizer_shot_batch,
         )
     observed = sorted(outcome_counts)
     counts = _assemble_counts(
@@ -1232,6 +1242,7 @@ def execute_circuits(
     target_error: float | None = None,
     trajectory_slice: tuple[int, int] | None = None,
     trajectory_batch: int | None = None,
+    stabilizer_shot_batch: int | None = None,
 ) -> list[ExperimentResult]:
     """Run a batch of circuits, amortizing shared derivation work.
 
@@ -1250,8 +1261,9 @@ def execute_circuits(
     sequentially, which is likewise identical to sequential calls).
 
     ``method`` / ``trajectories`` / ``target_error`` /
-    ``trajectory_slice`` / ``trajectory_batch`` apply uniformly to every
-    circuit of the batch (``"auto"`` resolves per circuit).
+    ``trajectory_slice`` / ``trajectory_batch`` /
+    ``stabilizer_shot_batch`` apply uniformly to every circuit of the
+    batch (``"auto"`` resolves per circuit).
     """
     circuits = list(circuits)
     if seeds is not None:
@@ -1283,6 +1295,7 @@ def execute_circuits(
             target_error=target_error,
             trajectory_slice=trajectory_slice,
             trajectory_batch=trajectory_batch,
+            stabilizer_shot_batch=stabilizer_shot_batch,
             _context=context,
         )
         for circuit, circuit_seed in zip(circuits, seeds)
@@ -1347,14 +1360,17 @@ def _supports_stabilizer(plan: _CircuitPlan, noise_model) -> bool:
     return True
 
 
-#: nominal per-(qubit^2) work the cost model charges the tableau's
-#: per-shot Python replay loop.  The 2**n amplitude kernels are
-#: vectorised and cache-friendly, so per "element" they are orders of
-#: magnitude cheaper than tableau row updates; this constant is
-#: calibrated so the pure-state path keeps winning noiseless Clifford
-#: circuits up to its 26-qubit budget (2**26 < _STABILIZER_SHOT_WORK *
-#: 26**2) while the tableau takes over from the density matrix at ~13
-#: qubits and owns everything past the exact-method budgets.
+#: nominal per-(qubit^2) work the cost model charges the tableau
+#: back-end.  The 2**n amplitude kernels are vectorised and
+#: cache-friendly, so per "element" they are orders of magnitude
+#: cheaper than tableau row updates; this constant is calibrated so the
+#: pure-state path keeps winning noiseless Clifford circuits up to its
+#: 26-qubit budget (2**26 < _STABILIZER_SHOT_WORK * 26**2) while the
+#: tableau takes over from the density matrix at ~13 qubits and owns
+#: everything past the exact-method budgets.  The shot-batched packed
+#: kernel (PR 8) made the tableau much faster in wall-clock, but these
+#: crossover points are part of the seeded-dispatch contract — do not
+#: retune them as a side effect of kernel work.
 _STABILIZER_SHOT_WORK = 1 << 17
 
 
@@ -1420,5 +1436,11 @@ register_method(MethodDescriptor(
     escape_hatch=(
         "the tableau is polynomial in qubits; this cap only guards "
         "pathological registers"
+    ),
+    # the packed tableau: two (2n, ceil(n/64)) uint64 word blocks plus
+    # a 2n-byte phase vector — quadratic, so RAM autodetection lifts
+    # the budget to the registry ceiling on any realistic machine
+    state_bytes=lambda num_qubits: (
+        32 * num_qubits * ((num_qubits + 63) // 64) + 2 * num_qubits
     ),
 ))

@@ -1146,6 +1146,7 @@ class ExecutionService:
         trajectories: int | str | None = None,
         target_error: float | None = None,
         trajectory_batch: int | None = None,
+        stabilizer_shot_batch: int | None = None,
     ) -> tuple[list, dict]:
         """The backend integration point: pre-resolved seeds in, ordered
         ExperimentResults + service metadata out."""
@@ -1160,6 +1161,7 @@ class ExecutionService:
                 trajectories=trajectories,
                 target_error=target_error,
                 trajectory_batch=trajectory_batch,
+                stabilizer_shot_batch=stabilizer_shot_batch,
             )
             for circuit, seed in zip(circuits, seeds)
         ]

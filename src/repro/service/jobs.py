@@ -86,6 +86,9 @@ class CircuitJob:
     width; it never enters the store key because counts are
     byte-identical for every batch size (batched and sequential
     execution may share one cached result by design).
+    ``stabilizer_shot_batch`` is the tableau back-end's analogue — how
+    many shots the phase-batched packed kernel stacks per round — and
+    is excluded from the store key for the same reason.
     """
 
     circuit: QuantumCircuit
@@ -99,6 +102,7 @@ class CircuitJob:
     target_error: float | None = None
     trajectory_slice: tuple[int, int] | None = None
     trajectory_batch: int | None = None
+    stabilizer_shot_batch: int | None = None
 
     def __post_init__(self) -> None:
         if self.shots < 1:
@@ -113,6 +117,11 @@ class CircuitJob:
         )
         if self.trajectory_batch is not None and self.trajectory_batch < 1:
             raise BackendError("trajectory_batch must be >= 1")
+        if (
+            self.stabilizer_shot_batch is not None
+            and self.stabilizer_shot_batch < 1
+        ):
+            raise BackendError("stabilizer_shot_batch must be >= 1")
 
     @property
     def deterministic(self) -> bool:
@@ -197,6 +206,7 @@ class SweepJob:
     trajectories: int | str | None = None
     target_error: float | None = None
     trajectory_batch: int | None = None
+    stabilizer_shot_batch: int | None = None
     _resolved: list[CircuitJob] | None = field(
         default=None, repr=False, compare=False
     )
@@ -226,6 +236,7 @@ class SweepJob:
                     trajectories=self.trajectories,
                     target_error=self.target_error,
                     trajectory_batch=self.trajectory_batch,
+                    stabilizer_shot_batch=self.stabilizer_shot_batch,
                 )
                 for circuit, circuit_seed in zip(
                     self.circuits, self.resolved_seeds()
@@ -377,10 +388,11 @@ def job_fingerprint(
     name plus :func:`backend_config_digest`, as built by the service),
     the full circuit structure, shots, seed, noise flags and the
     simulation-method fields — everything the sampled counts depend on.
-    ``trajectory_batch`` is deliberately **excluded**: the batched
-    kernel is byte-identical to the sequential path at every batch
-    size, so batched and sequential runs of the same job may serve each
-    other's cached counts without ever aliasing a different result.
+    ``trajectory_batch`` and ``stabilizer_shot_batch`` are deliberately
+    **excluded**: both batched kernels are byte-identical to their
+    sequential paths at every batch size, so batched and sequential
+    runs of the same job may serve each other's cached counts without
+    ever aliasing a different result.
     ``trajectories="auto"`` jobs *are* keyed (by the ``"auto"`` marker
     plus ``target_error``): an adaptive run is a deterministic function
     of the seed, and its resolved count depends on the target.  The

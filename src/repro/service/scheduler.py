@@ -230,6 +230,7 @@ def run_job_on_backend(backend, job: CircuitJob):
             target_error=job.target_error,
             trajectory_slice=job.trajectory_slice,
             trajectory_batch=job.trajectory_batch,
+            stabilizer_shot_batch=job.stabilizer_shot_batch,
         )
     except ReproError as exc:
         if job.trajectory_slice is None:

@@ -75,6 +75,15 @@ def run_case(backend, case: str):
             golden_pauli_noise(backend.num_qubits),
             shots=SHOTS, seed=SEED, method="stabilizer",
         )
+    if case == "stabilizer_pauli_batch7":
+        # the packed kernel's RNG-order invariant: any batch size must
+        # reproduce the sequential per-shot stream byte-for-byte
+        return execute_circuit(
+            clifford_golden_circuit(), backend.target,
+            golden_pauli_noise(backend.num_qubits),
+            shots=SHOTS, seed=SEED, method="stabilizer",
+            stabilizer_shot_batch=7,
+        )
     if case == "statevector_noiseless":
         return execute_circuit(
             circuit, backend.target, None, shots=SHOTS, seed=SEED,
@@ -106,6 +115,7 @@ CASES = [
     "trajectory_adaptive",
     "stabilizer_noiseless",
     "stabilizer_pauli",
+    "stabilizer_pauli_batch7",
 ]
 
 
@@ -141,6 +151,27 @@ def test_trajectory_sequential_matches_batched_golden(backend, golden):
         trajectory_batch=1,
     )
     assert dict(sequential.counts) == golden["trajectory_fixed"]["counts"]
+
+
+def test_stabilizer_sequential_matches_batched_golden(backend, golden):
+    """``stabilizer_shot_batch`` never perturbs seeded counts.
+
+    The sequential reference (batch=1) reproduces the golden pauli
+    fixture, and the batch=7 fixture entry is the *same* counts — the
+    packed kernel consumes the per-shot RNG stream in the historical
+    order whatever the batch size.
+    """
+    sequential = execute_circuit(
+        clifford_golden_circuit(), backend.target,
+        golden_pauli_noise(backend.num_qubits),
+        shots=SHOTS, seed=SEED, method="stabilizer",
+        stabilizer_shot_batch=1,
+    )
+    assert dict(sequential.counts) == golden["stabilizer_pauli"]["counts"]
+    assert (
+        golden["stabilizer_pauli_batch7"]["counts"]
+        == golden["stabilizer_pauli"]["counts"]
+    )
 
 
 def test_stabilizer_noiseless_golden_is_statevector_identical(

@@ -280,3 +280,103 @@ class TestStabilizerColumn:
         )
         tv = total_variation(counts_of(st), counts_of(traj))
         assert tv < 0.15, f"TV(stabilizer, trajectory) = {tv:.4f}"
+
+
+# ---------------------------------------------------------------------------
+# the stabilizer shot-batch column
+# ---------------------------------------------------------------------------
+
+def wide_target(num_qubits: int):
+    from repro.backends import Target
+    from repro.transpiler import CouplingMap
+
+    return Target(num_qubits, CouplingMap.from_line(num_qubits))
+
+
+def readout_only_noise(num_qubits: int) -> NoiseModel:
+    noise = NoiseModel(num_qubits)
+    noise.set_readout_error(ReadoutError.uniform(num_qubits, 0.03))
+    return noise
+
+
+class TestStabilizerShotBatch:
+    """``stabilizer_shot_batch`` is a perf knob, not a sampling knob.
+
+    The packed kernel must return *byte-identical* counts at every
+    batch size — including ``1``, the sequential per-shot reference —
+    on each flavour of stochastic program: Pauli noise (channel draws),
+    noiseless-but-wide (random-measurement draws only; 28 measured
+    qubits overflow the dense-marginal path), and readout-only-wide
+    (readout flip draws).  Sharding across service workers must not
+    perturb counts either.
+    """
+
+    BATCHES = [1, 7, 512]  # sequential, ragged mid-size, one round
+
+    def _counts(self, circuit, target, noise, batch, seed=7, shots=512):
+        return counts_of(
+            execute_circuit(
+                circuit, target, noise, shots=shots, seed=seed,
+                method="stabilizer", stabilizer_shot_batch=batch,
+            )
+        )
+
+    def _assert_batches_identical(self, circuit, target, noise):
+        reference = self._counts(circuit, target, noise, batch=None)
+        assert sum(reference.values()) == 512
+        for batch in self.BATCHES:
+            assert (
+                self._counts(circuit, target, noise, batch) == reference
+            ), f"shot_batch={batch} diverged from the default kernel"
+
+    def test_pauli_noise_batch_identity(self, backend):
+        self._assert_batches_identical(
+            random_clifford_circuit(14, 3, measured=6),
+            backend.target,
+            pauli_noise(backend.num_qubits),
+        )
+
+    def test_noiseless_wide_batch_identity(self):
+        # 28 measured qubits: past the dense-marginal cap, so the only
+        # randomness is the per-shot random-measurement coin flips
+        self._assert_batches_identical(
+            random_clifford_circuit(28, 5), wide_target(28), None
+        )
+
+    def test_readout_only_wide_batch_identity(self):
+        self._assert_batches_identical(
+            random_clifford_circuit(28, 6),
+            wide_target(28),
+            readout_only_noise(28),
+        )
+
+    def test_worker_split_identity(self):
+        """jobs=2 through the sharded service == direct execution.
+
+        Stabilizer jobs shard whole (only the trajectory method fans
+        out into slices), so two copies of one circuit exercise the
+        worker split; the knob rides along through the service layer.
+        """
+        from repro.backends.backend import SimulatedBackend
+        from repro.hamiltonian.system import DeviceModel
+
+        target = wide_target(16)
+        noise = pauli_noise(16)
+        circuit = random_clifford_circuit(16, 9, measured=6)
+        direct = self._counts(circuit, target, noise, batch=None, seed=5)
+        device = DeviceModel.uniform(16, coupling_map=target.coupling.edges)
+        backend = SimulatedBackend("stab_batch_split", target, noise, device)
+        try:
+            result = backend.run(
+                [circuit, circuit],
+                shots=512,
+                seeds=[5, 5],
+                jobs=2,
+                method="stabilizer",
+                stabilizer_shot_batch=7,
+            )
+        finally:
+            backend.close_services()
+        assert result.metadata["service"]["workers"] == 2
+        for experiment in result.experiments:
+            assert counts_of(experiment) == direct
