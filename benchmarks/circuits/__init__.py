@@ -1,1 +1,48 @@
-"""Reusable benchmark circuit generators (imported by bench scripts)."""
+"""Reusable benchmark circuit generators (imported by bench scripts).
+
+:data:`SUITE` is the standard circuit family the transpiler benchmark
+reports over — the snippet-2 style named set (``ghz_n8``,
+``wstate_n5``, ...).  Every entry is a zero-argument factory returning
+a fresh measured circuit, so benches and tests can never mutate shared
+state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.circuits import QuantumCircuit
+
+from .algorithms import grover, qft
+from .arithmetic import adder, fredkin, toffoli
+from .qec import repetition_syndrome_circuit
+from .states import ghz, wstate
+from .trotter import tfim_trotter, trotter_echo
+
+__all__ = [
+    "SUITE",
+    "adder",
+    "fredkin",
+    "ghz",
+    "grover",
+    "qft",
+    "repetition_syndrome_circuit",
+    "tfim_trotter",
+    "toffoli",
+    "trotter_echo",
+    "wstate",
+]
+
+#: name -> factory for the standard transpiler-benchmark suite
+SUITE: dict[str, Callable[[], QuantumCircuit]] = {
+    "ghz_n8": lambda: ghz(8),
+    "wstate_n5": lambda: wstate(5),
+    "adder_n6": lambda: adder(2, a_value=3, b_value=2),
+    "toffoli_n3": toffoli,
+    "fredkin_n3": fredkin,
+    "grover_n3": lambda: grover(3, marked=5),
+    "qft_n5": lambda: qft(5, measure=True),
+    "basis_trotter_n6": lambda: tfim_trotter(6, steps=3),
+    "trotter_echo_n20": lambda: trotter_echo(20, steps=2),
+    "qec_d5": lambda: repetition_syndrome_circuit(5, rounds=2),
+}

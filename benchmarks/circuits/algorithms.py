@@ -1,0 +1,80 @@
+"""Algorithm benchmark circuits: QFT and Grover search."""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits import QuantumCircuit
+
+from .arithmetic import append_ccx
+
+__all__ = ["qft", "grover"]
+
+
+def qft(num_qubits: int, measure: bool = False) -> QuantumCircuit:
+    """Textbook quantum Fourier transform (H + controlled-phase + swaps)."""
+    if num_qubits < 1:
+        raise ValueError("qft needs at least 1 qubit")
+    qc = QuantumCircuit(num_qubits, name=f"qft_n{num_qubits}")
+    for i in reversed(range(num_qubits)):
+        qc.h(i)
+        for j in reversed(range(i)):
+            qc.cp(math.pi / (1 << (i - j)), j, i)
+    for q in range(num_qubits // 2):
+        qc.swap(q, num_qubits - 1 - q)
+    if measure:
+        qc.measure_all()
+    return qc
+
+
+def _mark_state(qc: QuantumCircuit, marked: int, num_qubits: int) -> None:
+    """Phase-flip the ``marked`` computational basis state."""
+    zeros = [q for q in range(num_qubits) if not (marked >> q) & 1]
+    for q in zeros:
+        qc.x(q)
+    if num_qubits == 2:
+        qc.cz(0, 1)
+    else:
+        # CCZ = H-conjugated Toffoli on the last qubit
+        qc.h(num_qubits - 1)
+        append_ccx(qc, 0, 1, num_qubits - 1)
+        qc.h(num_qubits - 1)
+    for q in zeros:
+        qc.x(q)
+
+
+def grover(
+    num_qubits: int = 3,
+    marked: int | None = None,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Grover search for one marked state over 2 or 3 qubits.
+
+    The phase oracle and the diffusion operator both bottom out in the
+    (multi-)controlled-Z of the matching width, so widths beyond the
+    Toffoli-backed 3 qubits are rejected rather than approximated.
+    The iteration count is the standard ``floor(pi/4 * sqrt(N))``,
+    which is exact for ``n = 2`` (one iteration, unit success
+    probability).
+    """
+    if num_qubits not in (2, 3):
+        raise ValueError("grover is implemented for 2 or 3 qubits")
+    if marked is None:
+        marked = (1 << num_qubits) - 1
+    if not 0 <= marked < (1 << num_qubits):
+        raise ValueError(f"marked state {marked} out of range")
+    qc = QuantumCircuit(num_qubits, name=f"grover_n{num_qubits}")
+    for q in range(num_qubits):
+        qc.h(q)
+    iterations = max(1, math.floor(math.pi / 4 * math.sqrt(1 << num_qubits)))
+    for _ in range(iterations):
+        _mark_state(qc, marked, num_qubits)
+        # diffusion: reflect about the uniform superposition
+        for q in range(num_qubits):
+            qc.h(q)
+        _mark_state(qc, 0, num_qubits)
+        for q in range(num_qubits):
+            qc.h(q)
+    if measure:
+        qc.measure_all()
+    return qc

@@ -1,0 +1,114 @@
+"""Arithmetic benchmark circuits: Toffoli, Fredkin, ripple-carry adder.
+
+The gate library has no 3-qubit primitives, so ``ccx``/``cswap`` are
+emitted in their standard Clifford+T decompositions (6 CX + 7 T for the
+Toffoli).  That makes these circuits the suite's stress test for
+T-staircase cancellation and CX-run cleanup.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import QuantumCircuit
+
+__all__ = ["append_ccx", "append_cswap", "toffoli", "fredkin", "adder"]
+
+
+def append_ccx(qc: QuantumCircuit, c1: int, c2: int, target: int) -> QuantumCircuit:
+    """Standard 6-CX Clifford+T Toffoli decomposition (exact)."""
+    qc.h(target)
+    qc.cx(c2, target)
+    qc.tdg(target)
+    qc.cx(c1, target)
+    qc.t(target)
+    qc.cx(c2, target)
+    qc.tdg(target)
+    qc.cx(c1, target)
+    qc.t(c2)
+    qc.t(target)
+    qc.h(target)
+    qc.cx(c1, c2)
+    qc.t(c1)
+    qc.tdg(c2)
+    qc.cx(c1, c2)
+    return qc
+
+
+def append_cswap(qc: QuantumCircuit, control: int, a: int, b: int) -> QuantumCircuit:
+    """Fredkin gate as CX-conjugated Toffoli (exact)."""
+    qc.cx(b, a)
+    append_ccx(qc, control, a, b)
+    qc.cx(b, a)
+    return qc
+
+
+def toffoli(measure: bool = True) -> QuantumCircuit:
+    """3-qubit Toffoli truth-table circuit: |110> -> |111>."""
+    qc = QuantumCircuit(3, name="toffoli_n3")
+    qc.x(0)
+    qc.x(1)
+    append_ccx(qc, 0, 1, 2)
+    if measure:
+        qc.measure_all()
+    return qc
+
+
+def fredkin(measure: bool = True) -> QuantumCircuit:
+    """3-qubit controlled-swap truth-table circuit: |110> -> |101>."""
+    qc = QuantumCircuit(3, name="fredkin_n3")
+    qc.x(0)
+    qc.x(1)
+    append_cswap(qc, 0, 1, 2)
+    if measure:
+        qc.measure_all()
+    return qc
+
+
+def _maj(qc: QuantumCircuit, c: int, b: int, a: int) -> None:
+    qc.cx(a, b)
+    qc.cx(a, c)
+    append_ccx(qc, c, b, a)
+
+
+def _uma(qc: QuantumCircuit, c: int, b: int, a: int) -> None:
+    append_ccx(qc, c, b, a)
+    qc.cx(a, c)
+    qc.cx(c, b)
+
+
+def adder(
+    num_bits: int = 2,
+    a_value: int = 1,
+    b_value: int = 1,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder computing ``b <- a + b``.
+
+    Layout: qubit 0 is the borrowed carry-in ancilla, qubits
+    ``1 + 2i`` hold ``a_i``, qubits ``2 + 2i`` hold ``b_i``, and the
+    last qubit receives the carry-out.  After the circuit the ``b``
+    register reads ``(a_value + b_value) mod 2**num_bits`` with the
+    overflow bit on the carry-out wire — a full classical truth table
+    for equivalence checking.
+    """
+    if num_bits < 1:
+        raise ValueError("adder needs at least 1 bit")
+    n = 2 * num_bits + 2
+    qc = QuantumCircuit(n, name=f"adder_n{n}")
+    a_bits = [1 + 2 * i for i in range(num_bits)]
+    b_bits = [2 + 2 * i for i in range(num_bits)]
+    carry_in, carry_out = 0, n - 1
+    for i, q in enumerate(a_bits):
+        if (a_value >> i) & 1:
+            qc.x(q)
+    for i, q in enumerate(b_bits):
+        if (b_value >> i) & 1:
+            qc.x(q)
+    chain = [carry_in] + a_bits
+    for i in range(num_bits):
+        _maj(qc, chain[i], b_bits[i], a_bits[i])
+    qc.cx(a_bits[-1], carry_out)
+    for i in reversed(range(num_bits)):
+        _uma(qc, chain[i], b_bits[i], a_bits[i])
+    if measure:
+        qc.measure_all()
+    return qc

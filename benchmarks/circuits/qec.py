@@ -65,7 +65,11 @@ def repetition_syndrome_circuit(
     circuit.h(0)
     for data in range(distance - 1):
         circuit.cx(data, data + 1)
-    # syndrome extraction: each round couples its own fresh ancillas
+    # syndrome extraction: each round couples its own fresh ancillas.
+    # All measures go at the very end: the engine only supports
+    # terminal measurement, and keeping the instruction list free of
+    # mid-circuit measures lets routing insert SWAPs anywhere without
+    # re-using an already-measured physical wire.
     clbit = 0
     for round_index in range(rounds):
         base = distance + round_index * (distance - 1)
@@ -73,6 +77,8 @@ def repetition_syndrome_circuit(
             ancilla = base + check
             circuit.cx(check, ancilla)
             circuit.cx(check + 1, ancilla)
+    for round_index in range(rounds):
+        base = distance + round_index * (distance - 1)
         for check in range(distance - 1):
             circuit.measure(base + check, clbit)
             clbit += 1

@@ -1,0 +1,54 @@
+"""Entangled-state preparation circuits (ghz, wstate)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits import QuantumCircuit
+
+__all__ = ["ghz", "wstate"]
+
+
+def ghz(num_qubits: int, measure: bool = True) -> QuantumCircuit:
+    """GHZ state |0...0> + |1...1> via H plus a CX ladder."""
+    if num_qubits < 2:
+        raise ValueError("ghz needs at least 2 qubits")
+    qc = QuantumCircuit(num_qubits, name=f"ghz_n{num_qubits}")
+    qc.h(0)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    if measure:
+        qc.measure_all()
+    return qc
+
+
+def _cry(qc: QuantumCircuit, theta: float, control: int, target: int) -> None:
+    # exact controlled-RY from the standard RY/CX conjugation identity
+    qc.ry(theta / 2.0, target)
+    qc.cx(control, target)
+    qc.ry(-theta / 2.0, target)
+    qc.cx(control, target)
+
+
+def wstate(num_qubits: int, measure: bool = True) -> QuantumCircuit:
+    """W state: equal 1/sqrt(n) weight on every one-hot basis state.
+
+    Deterministic cascade construction: the excitation starts on qubit
+    0 and each step splits off amplitude ``sqrt(1/(n-k+1))`` to stay
+    behind, handing the remainder down the chain with a controlled-RY
+    followed by a CX (Diker's F-gate).  All amplitudes are real and
+    positive, so the statevector is exactly ``1/sqrt(n)`` one-hot.
+    """
+    if num_qubits < 2:
+        raise ValueError("wstate needs at least 2 qubits")
+    n = num_qubits
+    qc = QuantumCircuit(n, name=f"wstate_n{n}")
+    qc.x(0)
+    for k in range(1, n):
+        # excitation at k-1 carries sqrt((n-k+1)/n); keep 1/sqrt(n)
+        theta = 2.0 * math.asin(math.sqrt((n - k) / (n - k + 1)))
+        _cry(qc, theta, k - 1, k)
+        qc.cx(k, k - 1)
+    if measure:
+        qc.measure_all()
+    return qc

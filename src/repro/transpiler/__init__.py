@@ -18,6 +18,10 @@ from repro.transpiler.passes.cancellation import (
     CommutativeCancellation,
     SelfInverseCancellation,
 )
+from repro.transpiler.passes.clifford_blocks import CliffordBlockAnalysis
+from repro.transpiler.passes.commutation import CommutationReorder, gates_commute
+from repro.transpiler.passes.fusion import PhaseGadgetFusion
+from repro.transpiler.passes.resynthesis import SingleQubitResynthesis
 from repro.transpiler.passes.layout import (
     ApplyLayout,
     NoiseAwareLayout,
@@ -31,6 +35,12 @@ from repro.transpiler.passes.scheduling import (
     circuit_duration,
 )
 from repro.transpiler.passes.pulse_efficient import PulseEfficientRZZ
+from repro.transpiler.verification import (
+    transpiled_counts_equivalent,
+    transpiled_distribution_equivalent,
+    transpiled_unitary_equivalent,
+    verify_transpiled,
+)
 
 __all__ = [
     "CouplingMap",
@@ -39,8 +49,17 @@ __all__ = [
     "preset_pass_manager",
     "transpile",
     "BasisTranslation",
+    "CliffordBlockAnalysis",
+    "CommutationReorder",
     "CommutativeCancellation",
+    "PhaseGadgetFusion",
     "SelfInverseCancellation",
+    "SingleQubitResynthesis",
+    "gates_commute",
+    "transpiled_counts_equivalent",
+    "transpiled_distribution_equivalent",
+    "transpiled_unitary_equivalent",
+    "verify_transpiled",
     "ApplyLayout",
     "NoiseAwareLayout",
     "SabreLayout",

@@ -40,6 +40,16 @@ class CouplingMap:
         return cls(edges, num_qubits)
 
     @classmethod
+    def full(cls, num_qubits: int) -> "CouplingMap":
+        """All-to-all connectivity (no routing ever needed)."""
+        edges = [
+            (i, j)
+            for i in range(num_qubits)
+            for j in range(i + 1, num_qubits)
+        ]
+        return cls(edges, num_qubits)
+
+    @classmethod
     def from_grid(cls, rows: int, cols: int) -> "CouplingMap":
         """Rectangular lattice."""
         edges = []

@@ -30,8 +30,8 @@ from repro.circuits.gates import (
     StandardGate,
     standard_gate,
 )
-from repro.circuits.parameter import ParameterExpression
 from repro.exceptions import TranspilerError
+from repro.transpiler.passes.rules import zero_rotation_phase
 
 DEFAULT_BASIS = frozenset({"rz", "sx", "x", "cx"})
 
@@ -82,11 +82,6 @@ def _u3_chain(theta, phi, lam) -> list[tuple[str, list]]:
     ]
 
 
-def _simplify_angle(value) -> bool:
-    """True when a (numeric) angle is an exact multiple of 2*pi."""
-    if isinstance(value, ParameterExpression):
-        return False
-    return abs(math.remainder(float(value), 2 * math.pi)) < 1e-12
 
 
 class BasisTranslation:
@@ -115,8 +110,13 @@ class BasisTranslation:
                 if name == "__keep__":
                     out.append(inst.operation, inst.qubits, inst.clbits)
                 else:
-                    if name == "rz" and _simplify_angle(params[0]):
-                        continue
+                    if name == "rz":
+                        # rz has period 4π: rz(2π) = -I, so dropping it
+                        # must credit the circuit's global phase
+                        drop_phase = zero_rotation_phase("rz", params[0])
+                        if drop_phase is not None:
+                            out.global_phase += drop_phase
+                            continue
                     out.append(standard_gate(name, params), qubits)
         return out
 

@@ -4,21 +4,28 @@ Two passes:
 
 * :class:`SelfInverseCancellation` — removes adjacent pairs of
   self-inverse gates (H·H, X·X, CX·CX, ...) and named inverse pairs
-  (S·Sdg, SX·SXdg, ...).
+  (S·Sdg, SX·SXdg, ...).  Symmetric gates (CZ, SWAP) cancel across
+  operand order: ``cz(1, 0)`` after ``cz(0, 1)`` is an inverse pair.
 * :class:`CommutativeCancellation` — merges same-axis rotations (RZ·RZ,
-  RX·RX, RZZ·RZZ on the same pair), drops zero-angle rotations, and uses
-  commutation relations (RZ/Z through a CX control, X/RX through a CX
-  target) to bring cancellable gates together, iterating to a fixed point.
+  RX·RX, RZZ·RZZ on the same pair, in either operand order), drops
+  zero rotations with the correct per-gate period (see
+  :mod:`repro.transpiler.passes.rules` — ``crz(2π)`` is ``Z⊗I``, not
+  the identity, and ``rz(2π) = -I`` costs a tracked global phase), and
+  uses commutation relations (via
+  :class:`~repro.transpiler.passes.commutation.CommutationReorder`) to
+  bring cancellable gates together, iterating to a fixed point.
 """
 
 from __future__ import annotations
 
-import math
-
-from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.circuit import CircuitInstruction, QuantumCircuit
 from repro.circuits.dag import DAGCircuit, DAGNode
-from repro.circuits.gates import Barrier, Gate, Measure, StandardGate, standard_gate
-from repro.circuits.parameter import ParameterExpression
+from repro.circuits.gates import Gate, standard_gate
+from repro.transpiler.passes.rules import (
+    MERGEABLE_ROTATIONS,
+    canonical_qubits,
+    zero_rotation_phase,
+)
 
 _INVERSE_PAIRS = {
     ("h", "h"),
@@ -37,19 +44,6 @@ _INVERSE_PAIRS = {
     ("sxdg", "sx"),
 }
 
-_MERGEABLE_ROTATIONS = {"rz", "rx", "ry", "p", "rzz", "rxx", "ryy", "rzx", "cp", "crz"}
-
-#: gates diagonal in Z on a given qubit commute with the CX control
-_Z_DIAGONAL = {"rz", "z", "s", "sdg", "t", "tdg", "p"}
-#: gates diagonal in X on a given qubit commute with the CX target
-_X_DIAGONAL = {"rx", "x", "sx", "sxdg"}
-
-
-def _is_zero_angle(value) -> bool:
-    if isinstance(value, ParameterExpression):
-        return False
-    return abs(math.remainder(float(value), 2 * math.pi)) < 1e-12
-
 
 class SelfInverseCancellation:
     """Cancel adjacent inverse pairs acting on identical qubits."""
@@ -66,7 +60,9 @@ class SelfInverseCancellation:
                 if nxt is None:
                     continue
                 pair = (node.operation.name, nxt.operation.name)
-                if pair in _INVERSE_PAIRS and node.qubits == nxt.qubits:
+                if pair in _INVERSE_PAIRS and canonical_qubits(
+                    node.operation.name, node.qubits
+                ) == canonical_qubits(nxt.operation.name, nxt.qubits):
                     dag.remove(node)
                     dag.remove(nxt)
                     changed = True
@@ -103,11 +99,17 @@ class CommutativeCancellation:
         self.max_passes = max_passes
 
     def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        # imported here: commutation.py uses the same rules module and
+        # keeping the reorder pass separate avoids an import cycle at
+        # package-definition time
+        from repro.transpiler.passes.commutation import CommutationReorder
+
+        reorder = CommutationReorder()
         current = circuit
         for _ in range(self.max_passes):
             merged = self._merge_rotations(current)
             cancelled = SelfInverseCancellation()(merged)
-            commuted = self._commute_through_cx(cancelled)
+            commuted = reorder(cancelled)
             if self._signature(commuted) == self._signature(current):
                 return commuted
             current = commuted
@@ -123,6 +125,7 @@ class CommutativeCancellation:
     # ------------------------------------------------------------------
     def _merge_rotations(self, circuit: QuantumCircuit) -> QuantumCircuit:
         dag = DAGCircuit.from_circuit(circuit)
+        phase = 0.0
         changed = True
         while changed:
             changed = False
@@ -130,22 +133,25 @@ class CommutativeCancellation:
                 if node._removed:
                     continue
                 name = node.operation.name
-                if name not in _MERGEABLE_ROTATIONS:
+                if name not in MERGEABLE_ROTATIONS:
                     continue
-                if _is_zero_angle(node.operation.params[0]):
+                drop_phase = zero_rotation_phase(
+                    name, node.operation.params[0]
+                )
+                if drop_phase is not None:
                     dag.remove(node)
+                    phase += drop_phase
                     changed = True
                     continue
                 nxt = SelfInverseCancellation._same_qubit_successor(dag, node)
                 if (
                     nxt is not None
                     and nxt.operation.name == name
-                    and nxt.qubits == node.qubits
+                    and canonical_qubits(name, nxt.qubits)
+                    == canonical_qubits(name, node.qubits)
                 ):
                     total = node.operation.params[0] + nxt.operation.params[0]
                     merged = standard_gate(name, [total])
-                    from repro.circuits.circuit import CircuitInstruction
-
                     dag.substitute(
                         node,
                         [CircuitInstruction(merged, node.qubits)],
@@ -153,74 +159,7 @@ class CommutativeCancellation:
                     dag.remove(nxt)
                     changed = True
         out = dag.to_circuit(circuit.name)
-        out.global_phase = circuit.global_phase
+        out.global_phase = circuit.global_phase + phase
         out.calibrations = dict(circuit.calibrations)
         out.metadata = dict(circuit.metadata)
-        return out
-
-    def _commute_through_cx(self, circuit: QuantumCircuit) -> QuantumCircuit:
-        """Push Z-diagonal gates past CX controls and X-diagonal past
-        targets when that enables a merge with a matching gate."""
-        instructions = list(circuit.instructions)
-        changed = True
-        while changed:
-            changed = False
-            for idx, inst in enumerate(instructions):
-                op = inst.operation
-                if not isinstance(op, StandardGate):
-                    continue
-                commutes_with = None
-                if op.name in _Z_DIAGONAL:
-                    commutes_with = "control"
-                elif op.name in _X_DIAGONAL:
-                    commutes_with = "target"
-                else:
-                    continue
-                qubit = inst.qubits[0]
-                # look ahead: can this gate hop over the next op on its wire?
-                for jdx in range(idx + 1, len(instructions)):
-                    other = instructions[jdx]
-                    if qubit not in other.qubits:
-                        continue
-                    other_op = other.operation
-                    if (
-                        isinstance(other_op, StandardGate)
-                        and other_op.name == op.name
-                        and other.qubits == inst.qubits
-                    ):
-                        # mergeable twin right after (possibly after hops)
-                        break
-                    if (
-                        isinstance(other_op, StandardGate)
-                        and other_op.name == "cx"
-                        and (
-                            (commutes_with == "control" and other.qubits[0] == qubit)
-                            or (commutes_with == "target" and other.qubits[1] == qubit)
-                        )
-                    ):
-                        continue  # commutes; keep scanning
-                    break
-                else:
-                    continue
-                if jdx <= idx + 1:
-                    continue
-                other = instructions[jdx]
-                other_op = other.operation
-                if not (
-                    isinstance(other_op, StandardGate)
-                    and other_op.name == op.name
-                    and other.qubits == inst.qubits
-                ):
-                    continue
-                # hop inst to just before its twin
-                instructions.pop(idx)
-                instructions.insert(jdx - 1, inst)
-                changed = True
-                break
-        out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
-        out.global_phase = circuit.global_phase
-        out.calibrations = dict(circuit.calibrations)
-        out.metadata = dict(circuit.metadata)
-        for inst in instructions:
-            out.append(inst.operation, inst.qubits, inst.clbits)
         return out

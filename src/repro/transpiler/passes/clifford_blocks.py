@@ -1,0 +1,66 @@
+"""Clifford-block extraction.
+
+An analysis pass: it does not rewrite the circuit, it *tags* it.  The
+pass scans the instruction list and records in
+``metadata["clifford_blocks"]``:
+
+* ``size`` — total instruction count at tag time (consumers must check
+  this still matches before trusting the tag),
+* ``prefix`` — length of the maximal leading block in which every gate
+  is Clifford (barriers, measures and delays are Clifford-compatible),
+* ``full`` — whether the whole circuit is that block.
+
+``select_method`` uses the tag as a certificate: a ``full`` tag lets
+the engine's stabilizer-support check skip its per-gate conjugation
+scan, and a partial tag short-circuits it to "not Clifford" without
+scanning at all.  Gate classification deliberately reuses
+:func:`~repro.simulators.stabilizer.clifford_conjugation_table` — the
+same oracle the engine applies — so the tag can never disagree with a
+from-scratch scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Barrier, Delay, Gate, Measure, PulseGate
+from repro.simulators.stabilizer import clifford_conjugation_table
+
+METADATA_KEY = "clifford_blocks"
+
+
+def instruction_is_clifford(operation) -> bool:
+    """Mirror of the engine's per-instruction stabilizer gate check."""
+    if isinstance(operation, (Barrier, Measure, Delay)):
+        return True
+    if isinstance(operation, PulseGate) or not isinstance(operation, Gate):
+        return False
+    cached = getattr(operation, "unitary", None)
+    try:
+        matrix = (
+            np.asarray(cached, dtype=complex)
+            if cached is not None
+            else operation.matrix()
+        )
+    except Exception:
+        return False
+    return clifford_conjugation_table(matrix) is not None
+
+
+class CliffordBlockAnalysis:
+    """Tag the maximal Clifford prefix in circuit metadata."""
+
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        instructions = circuit.instructions
+        prefix = 0
+        for inst in instructions:
+            if not instruction_is_clifford(inst.operation):
+                break
+            prefix += 1
+        circuit.metadata[METADATA_KEY] = {
+            "size": len(instructions),
+            "prefix": prefix,
+            "full": prefix == len(instructions),
+        }
+        return circuit

@@ -1,0 +1,161 @@
+"""Commutation-aware gate reordering.
+
+:func:`gates_commute` is a rule-based oracle over the standard-gate
+library: computational-basis-diagonal gates all commute with each other
+at any qubit overlap, Z-diagonal operands commute through a CX control,
+X-diagonal operands through a CX target, and CX pairs commute unless
+one gate's control is the other's target.  Anything it cannot prove
+commuting is reported as non-commuting, so reordering is always safe.
+
+:class:`CommutationReorder` uses the oracle to hop a gate forward over
+a run of commuting instructions when that lands it directly before a
+cancellation partner — a same-name mergeable rotation on the same
+(canonicalised) operands, or a named inverse pair.  It generalises the
+historical "RZ through a CX control" special case to the whole rule
+set: RZZ slides through CX controls to meet its twin, X slides through
+CX targets, diagonal chains reorder freely.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import CircuitInstruction, QuantumCircuit
+from repro.circuits.gates import StandardGate
+from repro.transpiler.passes.rules import (
+    MERGEABLE_ROTATIONS,
+    SYMMETRIC_GATES,
+    X_DIAGONAL_GATES,
+    Z_DIAGONAL_GATES,
+    canonical_qubits,
+)
+
+#: named inverse pairs the reorder pass will try to bring together;
+#: mirrors cancellation's table (import kept one-way to avoid cycles)
+_REORDER_INVERSE_PAIRS = {
+    ("h", "h"),
+    ("x", "x"),
+    ("y", "y"),
+    ("z", "z"),
+    ("cx", "cx"),
+    ("cz", "cz"),
+    ("swap", "swap"),
+    ("s", "sdg"),
+    ("sdg", "s"),
+    ("t", "tdg"),
+    ("tdg", "t"),
+    ("sx", "sxdg"),
+    ("sxdg", "sx"),
+}
+
+
+def _cx_roles(qubits: tuple[int, ...]) -> dict[int, str]:
+    return {qubits[0]: "control", qubits[1]: "target"}
+
+
+def gates_commute(inst_a: CircuitInstruction, inst_b: CircuitInstruction) -> bool:
+    """True when the rule set proves the two instructions commute.
+
+    Conservative: ``False`` means "not provably commuting", never a
+    claim of anticommutation.
+    """
+    shared = set(inst_a.qubits) & set(inst_b.qubits)
+    if not shared:
+        return True
+    op_a, op_b = inst_a.operation, inst_b.operation
+    if not isinstance(op_a, StandardGate) or not isinstance(op_b, StandardGate):
+        return False
+    name_a, name_b = op_a.name, op_b.name
+    if name_a in Z_DIAGONAL_GATES and name_b in Z_DIAGONAL_GATES:
+        return True
+    if name_a == "cx" and name_b == "cx":
+        roles_a, roles_b = _cx_roles(inst_a.qubits), _cx_roles(inst_b.qubits)
+        return all(roles_a[q] == roles_b[q] for q in shared)
+    if name_a == "cx" or name_b == "cx":
+        cx, other = (inst_a, inst_b) if name_a == "cx" else (inst_b, inst_a)
+        other_name = other.operation.name
+        roles = _cx_roles(cx.qubits)
+        if other_name in Z_DIAGONAL_GATES:
+            return all(roles[q] == "control" for q in shared)
+        if other_name in X_DIAGONAL_GATES:
+            return all(roles[q] == "target" for q in shared)
+        return False
+    if name_a in X_DIAGONAL_GATES and name_b in X_DIAGONAL_GATES:
+        return True
+    return False
+
+
+def _is_partner(inst: CircuitInstruction, other: CircuitInstruction) -> bool:
+    """Would placing ``inst`` directly before ``other`` enable a merge
+    or cancellation?"""
+    op, other_op = inst.operation, other.operation
+    if not isinstance(other_op, StandardGate):
+        return False
+    name, other_name = op.name, other_op.name
+    canon = canonical_qubits(name, inst.qubits)
+    other_canon = canonical_qubits(other_name, other.qubits)
+    if canon != other_canon:
+        return False
+    if name == other_name and name in MERGEABLE_ROTATIONS:
+        return True
+    if (name, other_name) in _REORDER_INVERSE_PAIRS:
+        # asymmetric self-inverse gates must match operand order exactly
+        return (
+            name in SYMMETRIC_GATES
+            or len(inst.qubits) == 1
+            or inst.qubits == other.qubits
+        )
+    return False
+
+
+class CommutationReorder:
+    """Hop gates over commuting runs to land next to a partner."""
+
+    def __init__(self, max_rounds: int | None = None) -> None:
+        self.max_rounds = max_rounds
+
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        instructions = list(circuit.instructions)
+        # every successful move strictly advances one gate toward its
+        # partner, so the loop terminates; the cap is a safety net
+        rounds = (
+            self.max_rounds
+            if self.max_rounds is not None
+            else 4 * len(instructions) + 16
+        )
+        changed = True
+        while changed and rounds > 0:
+            rounds -= 1
+            changed = False
+            for idx, inst in enumerate(instructions):
+                if not isinstance(inst.operation, StandardGate):
+                    continue
+                jdx = self._partner_after_commuting_run(instructions, idx)
+                if jdx is None or jdx <= idx + 1:
+                    continue
+                instructions.pop(idx)
+                instructions.insert(jdx - 1, inst)
+                changed = True
+                break
+        out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        out.global_phase = circuit.global_phase
+        out.calibrations = dict(circuit.calibrations)
+        out.metadata = dict(circuit.metadata)
+        for inst in instructions:
+            out.append(inst.operation, inst.qubits, inst.clbits)
+        return out
+
+    @staticmethod
+    def _partner_after_commuting_run(
+        instructions: list[CircuitInstruction], idx: int
+    ) -> int | None:
+        """Index of a partner reachable by commuting hops, else None."""
+        inst = instructions[idx]
+        qubits = set(inst.qubits)
+        for jdx in range(idx + 1, len(instructions)):
+            other = instructions[jdx]
+            if not qubits & set(other.qubits):
+                continue
+            if _is_partner(inst, other):
+                return jdx
+            if not gates_commute(inst, other):
+                return None
+        return None

@@ -1,0 +1,79 @@
+"""Phase-gadget / RZZ-chain fusion.
+
+Every gate in :data:`~repro.transpiler.passes.rules.Z_DIAGONAL_GATES`
+is diagonal in the computational basis, so any two of them commute
+regardless of qubit overlap.  Within a maximal run of diagonal gates a
+phase gadget (``rz``/``p``/``rzz``/``cp``/``crz`` on a fixed operand
+set) can therefore be fused with every later gadget on the same
+operands, even when other diagonal gates — CZ ladders, T staircases,
+far-away RZZ links — sit in between.  This is what collapses the
+QAOA/Ising cost layer (an RZZ chain interleaved with CZ/RZ) that plain
+adjacent-pair merging cannot touch.
+
+Non-diagonal gates end the run only for the qubits they touch: a
+pending ``rzz(0, 1)`` survives an ``sx`` on qubit 4 but not on qubit 1.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import CircuitInstruction, QuantumCircuit
+from repro.circuits.gates import StandardGate, standard_gate
+from repro.circuits.parameter import ParameterExpression
+from repro.transpiler.passes.rules import (
+    Z_DIAGONAL_GATES,
+    canonical_qubits,
+    zero_rotation_phase,
+)
+
+#: parametric Z-diagonal rotations the pass may sum angle-wise
+_FUSIBLE = frozenset({"rz", "p", "rzz", "cp", "crz"})
+
+
+class PhaseGadgetFusion:
+    """Fuse Z-diagonal phase gadgets across commuting diagonal blocks."""
+
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        fused: list[CircuitInstruction | None] = []
+        # (name, canonical qubits) -> index into ``fused``
+        pending: dict[tuple, int] = {}
+        for inst in circuit.instructions:
+            op = inst.operation
+            name = op.name if isinstance(op, StandardGate) else None
+            if (
+                name in _FUSIBLE
+                and not isinstance(op.params[0], ParameterExpression)
+            ):
+                key = (name, canonical_qubits(name, inst.qubits))
+                idx = pending.get(key)
+                if idx is not None:
+                    prev = fused[idx]
+                    total = prev.operation.params[0] + op.params[0]
+                    fused[idx] = CircuitInstruction(
+                        standard_gate(name, [total]), prev.qubits
+                    )
+                else:
+                    pending[key] = len(fused)
+                    fused.append(inst)
+                continue
+            if name not in Z_DIAGONAL_GATES:
+                # run boundary for every pending gadget sharing a qubit
+                touched = set(inst.qubits)
+                pending = {
+                    key: idx
+                    for key, idx in pending.items()
+                    if not touched & set(key[1])
+                }
+            fused.append(inst)
+        out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        out.global_phase = circuit.global_phase
+        out.calibrations = dict(circuit.calibrations)
+        out.metadata = dict(circuit.metadata)
+        for inst in fused:
+            op = inst.operation
+            if isinstance(op, StandardGate) and op.name in _FUSIBLE:
+                drop_phase = zero_rotation_phase(op.name, op.params[0])
+                if drop_phase is not None:
+                    out.global_phase += drop_phase
+                    continue
+            out.append(op, inst.qubits, inst.clbits)
+        return out

@@ -1,0 +1,123 @@
+"""Single-qubit run resynthesis.
+
+Collapses every maximal run of numeric one-qubit gates on a wire into
+its canonical native form: the accumulated 2x2 unitary is re-extracted
+as U3 angles and re-emitted as the RZ·SX·RZ·SX·RZ chain (or a single
+RZ when the product is diagonal, or nothing when it is the identity).
+Runs that are already minimal are kept verbatim, so the pass never
+makes a circuit longer.  The exact global phase of the replacement is
+recovered as the scalar ratio between the run product and the emitted
+chain, keeping transpiled circuits unitary-equal (not merely
+equal-up-to-phase) to their originals.
+"""
+
+from __future__ import annotations
+
+import cmath
+
+import numpy as np
+
+from repro.circuits.circuit import CircuitInstruction, QuantumCircuit
+from repro.circuits.gates import StandardGate, standard_gate
+from repro.circuits.parameter import ParameterExpression
+from repro.transpiler.passes.basis import (
+    DEFAULT_BASIS,
+    _u3_chain,
+    u3_angles_from_matrix,
+)
+from repro.transpiler.passes.rules import ANGLE_TOL, zero_rotation_phase
+
+_ID2 = np.eye(2, dtype=complex)
+
+
+class SingleQubitResynthesis:
+    """Resynthesize maximal 1q-gate runs into canonical RZ/SX chains.
+
+    Only active when the target basis contains ``rz`` and ``sx``; for
+    other bases the pass is the identity (it would emit gates the
+    device cannot run).
+    """
+
+    def __init__(self, basis: frozenset[str] | set[str] = DEFAULT_BASIS) -> None:
+        self.basis = frozenset(basis)
+
+    def __call__(self, circuit: QuantumCircuit, context=None) -> QuantumCircuit:
+        if not {"rz", "sx"} <= self.basis:
+            return circuit
+        out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        out.global_phase = circuit.global_phase
+        out.calibrations = dict(circuit.calibrations)
+        out.metadata = dict(circuit.metadata)
+        # qubit -> list of buffered CircuitInstruction forming the run
+        runs: dict[int, list[CircuitInstruction]] = {}
+
+        def flush(qubit: int) -> None:
+            run = runs.pop(qubit, None)
+            if run:
+                self._emit_run(out, qubit, run)
+
+        for inst in circuit.instructions:
+            if self._run_member(inst):
+                runs.setdefault(inst.qubits[0], []).append(inst)
+                continue
+            for qubit in inst.qubits:
+                flush(qubit)
+            out.append(inst.operation, inst.qubits, inst.clbits)
+        for qubit in sorted(runs):
+            self._emit_run(out, qubit, runs[qubit])
+        return out
+
+    @staticmethod
+    def _run_member(inst: CircuitInstruction) -> bool:
+        op = inst.operation
+        if not isinstance(op, StandardGate) or op.num_qubits != 1:
+            return False
+        if any(isinstance(p, ParameterExpression) for p in op.params):
+            return False
+        return True
+
+    def _emit_run(
+        self,
+        out: QuantumCircuit,
+        qubit: int,
+        run: list[CircuitInstruction],
+    ) -> None:
+        product = _ID2
+        for inst in run:
+            product = inst.operation.matrix() @ product
+        replacement = self._synthesize(product)
+        if len(replacement) >= len(run):
+            for inst in run:
+                out.append(inst.operation, inst.qubits, inst.clbits)
+            return
+        gates = [standard_gate(name, params) for name, params in replacement]
+        chain = _ID2
+        for gate in gates:
+            chain = gate.matrix() @ chain
+        # exact phase correction: product = e^{i delta} * chain
+        anchor = np.unravel_index(np.argmax(np.abs(chain)), chain.shape)
+        delta = cmath.phase(product[anchor] / chain[anchor])
+        if not np.allclose(product, cmath.rect(1.0, delta) * chain, atol=1e-9):
+            # angle extraction hit a degenerate branch; never risk it
+            for inst in run:
+                out.append(inst.operation, inst.qubits, inst.clbits)
+            return
+        for gate in gates:
+            out.append(gate, [qubit])
+        out.global_phase += delta
+
+    @staticmethod
+    def _synthesize(product: np.ndarray) -> list[tuple[str, list]]:
+        theta, phi, lam, _ = u3_angles_from_matrix(product)
+        if abs(theta) < ANGLE_TOL:
+            # diagonal product: a single virtual RZ (or nothing)
+            angle = phi + lam
+            if zero_rotation_phase("rz", angle) is not None:
+                return []
+            return [("rz", [angle])]
+        emitted = []
+        for name, params in _u3_chain(theta, phi, lam):
+            if name == "rz" and zero_rotation_phase("rz", params[0]) is not None:
+                continue
+            emitted.append((name, params))
+        return emitted

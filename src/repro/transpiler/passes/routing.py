@@ -13,7 +13,7 @@ from collections.abc import Mapping, Sequence
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import Barrier, Gate
+from repro.circuits.gates import Barrier, Gate, Measure
 from repro.exceptions import TranspilerError
 from repro.transpiler.coupling import CouplingMap
 from repro.utils.rng import as_generator
@@ -94,6 +94,12 @@ class SabreSwap:
         decay = np.ones(num_physical)
         rounds_since_progress = 0
         total_rounds = 0
+        # measures are terminal in the engine's execution model, but the
+        # wire-based front layer can surface them mid-routing; emitting
+        # one with the layout of that moment lets a later SWAP move a
+        # different wire onto the measured physical qubit (two measures
+        # on one wire).  Defer them all and emit with the final layout.
+        deferred_measures = []
 
         front = front_layer()
         while front:
@@ -102,7 +108,11 @@ class SabreSwap:
                 executed_any = False
                 for idx in front:
                     inst = ops[idx]
-                    if self._executable(inst, layout):
+                    if isinstance(inst.operation, Measure):
+                        deferred_measures.append(inst)
+                        retire(idx)
+                        executed_any = True
+                    elif self._executable(inst, layout):
                         out.append(
                             inst.operation,
                             [layout[q] for q in inst.qubits],
@@ -152,6 +162,12 @@ class SabreSwap:
             if rounds_since_progress > 10 * num_physical * max(1, len(ops)):
                 raise TranspilerError("routing did not converge")
 
+        for inst in deferred_measures:
+            out.append(
+                inst.operation,
+                [layout[q] for q in inst.qubits],
+                inst.clbits,
+            )
         if context is not None:
             context.final_layout = dict(layout)
         return out

@@ -1,0 +1,111 @@
+"""Shared gate-algebra rules for the optimization-tier passes.
+
+Three facts every cancellation/fusion/commutation pass needs, kept in
+one place so they cannot drift apart:
+
+* **Rotation periods.**  ``p``/``cp`` are 2π-periodic as *matrices*;
+  the ``r*``-family gates (``rz``, ``rx``, ``ry``, ``rzz``, ``rxx``,
+  ``ryy``, ``rzx``, ``crz``) are 4π-periodic — ``rz(2π) = -I`` and
+  ``crz(2π) = Z⊗I``, neither the identity.  A pass that drops "angle ≡
+  0 (mod 2π)" rotations silently corrupts circuits containing
+  ``crz(2π)`` and loses the tracked global phase on ``rz(2π)``.
+  :func:`zero_rotation_phase` encodes the per-gate rule: it returns the
+  global-phase shift incurred by *removing* the gate, or ``None`` when
+  the gate is not removable.
+
+* **Operand symmetry.**  ``cz``, ``swap``, ``rzz``, ``rxx``, ``ryy``
+  and ``cp`` act identically under operand exchange, so ``cz(1, 0)``
+  cancels ``cz(0, 1)`` and ``rzz(a; 1, 0)`` merges with
+  ``rzz(b; 0, 1)``.  :func:`canonical_qubits` gives the order-blind
+  key.  ``cx``, ``ecr``, ``crz`` and ``rzx`` are *not* symmetric and
+  keep their operand order.
+
+* **Diagonality.**  Gates diagonal in the computational basis all
+  commute with each other; :data:`Z_DIAGONAL_GATES` lists them.  The
+  X-basis analogue :data:`X_DIAGONAL_GATES` commutes through a CX
+  target.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.parameter import ParameterExpression
+
+_TWO_PI = 2.0 * math.pi
+_FOUR_PI = 4.0 * math.pi
+
+#: rotation gates whose matrix is 4π-periodic; at angle ≡ 2π (mod 4π)
+#: the gate equals -I (a pure global phase) — except ``crz``, whose
+#: 2π point is Z on the control, a *real* operation
+ROTATION_PERIODS: dict[str, float] = {
+    "rz": _FOUR_PI,
+    "rx": _FOUR_PI,
+    "ry": _FOUR_PI,
+    "rzz": _FOUR_PI,
+    "rxx": _FOUR_PI,
+    "ryy": _FOUR_PI,
+    "rzx": _FOUR_PI,
+    "crz": _FOUR_PI,
+    "p": _TWO_PI,
+    "cp": _TWO_PI,
+}
+
+#: 4π-periodic gates for which angle ≡ 2π (mod 4π) is exactly -I, so
+#: removal costs a tracked global phase of π.  ``crz`` is deliberately
+#: absent: ``crz(2π) = Z⊗I`` acts on the state.
+_MINUS_IDENTITY_AT_2PI = frozenset(
+    {"rz", "rx", "ry", "rzz", "rxx", "ryy", "rzx"}
+)
+
+#: gates invariant under operand exchange
+SYMMETRIC_GATES = frozenset({"cz", "swap", "rzz", "rxx", "ryy", "cp"})
+
+#: gates whose matrix is diagonal in the computational (Z) basis; any
+#: two of these commute, on any qubit overlap
+Z_DIAGONAL_GATES = frozenset(
+    {"id", "z", "s", "sdg", "t", "tdg", "p", "rz", "cz", "cp", "crz", "rzz"}
+)
+
+#: single-qubit gates diagonal in the X basis (commute through a CX
+#: target); ``rxx`` is the two-qubit member
+X_DIAGONAL_GATES = frozenset({"x", "sx", "sxdg", "rx", "rxx"})
+
+#: named rotations the merge/fusion passes may sum angle-wise
+MERGEABLE_ROTATIONS = frozenset(
+    {"rz", "rx", "ry", "p", "rzz", "rxx", "ryy", "rzx", "cp", "crz"}
+)
+
+ANGLE_TOL = 1e-12
+
+
+def canonical_qubits(name: str, qubits: tuple[int, ...]) -> tuple[int, ...]:
+    """Operand tuple with symmetric-gate order normalised away."""
+    if name in SYMMETRIC_GATES:
+        return tuple(sorted(qubits))
+    return qubits
+
+
+def zero_rotation_phase(name: str, angle) -> float | None:
+    """Global-phase shift from deleting a zero rotation, else ``None``.
+
+    ``0.0`` means the gate is exactly the identity at this angle;
+    ``math.pi`` means it equals ``-I`` (remove it and add π to the
+    circuit's tracked global phase).  ``None`` means the gate is not
+    removable: a genuine rotation, a symbolic parameter, or a gate like
+    ``crz(2π)`` whose "zero" point is not proportional to the identity.
+    """
+    if isinstance(angle, ParameterExpression):
+        return None
+    period = ROTATION_PERIODS.get(name)
+    if period is None:
+        return None
+    residue = math.remainder(float(angle), period)
+    if abs(residue) < ANGLE_TOL:
+        return 0.0
+    if (
+        name in _MINUS_IDENTITY_AT_2PI
+        and abs(abs(residue) - _TWO_PI) < ANGLE_TOL
+    ):
+        return math.pi
+    return None

@@ -13,7 +13,10 @@ from repro.transpiler.passes.cancellation import (
     CommutativeCancellation,
     SelfInverseCancellation,
 )
+from repro.transpiler.passes.clifford_blocks import CliffordBlockAnalysis
+from repro.transpiler.passes.fusion import PhaseGadgetFusion
 from repro.transpiler.passes.layout import SabreLayout
+from repro.transpiler.passes.resynthesis import SingleQubitResynthesis
 from repro.transpiler.passes.routing import SabreSwap
 
 Pass = Callable[[QuantumCircuit, "TranspileContext"], QuantumCircuit]
@@ -68,24 +71,41 @@ def preset_pass_manager(
 
     Level 0: route (given/trivial layout) + basis translation.
     Level 1: + self-inverse cancellation.
-    Level 2: + SABRE layout search (when no layout given) + commutative
-    cancellation.
-    Level 3: level 2 with more SABRE trials.
+    Level 2: + pre-routing logical optimization (phase-gadget fusion,
+    commutative cancellation), SABRE layout search (when no layout
+    given), and a post-basis optimization round (commutative
+    cancellation, fusion, single-qubit run resynthesis).
+    Level 3: level 2 with more SABRE trials and a second post-basis
+    optimization round.
+
+    Levels 1+ finish with :class:`CliffordBlockAnalysis`, which tags
+    (never rewrites) the circuit so ``select_method`` can certify
+    Clifford circuits for the stabilizer back-end without rescanning.
     """
     if optimization_level not in (0, 1, 2, 3):
         raise TranspilerError(
             f"optimization_level must be 0-3, got {optimization_level}"
         )
     pm = PassManager()
-    if optimization_level >= 2 and initial_layout is None:
-        trials = 3 if optimization_level == 2 else 6
-        pm.append(SabreLayout(coupling, trials=trials, seed=seed))
+    if optimization_level >= 2:
+        # logical-level cleanup first: fewer gates to lay out and route
+        pm.append(PhaseGadgetFusion())
+        pm.append(CommutativeCancellation())
+        if initial_layout is None:
+            trials = 3 if optimization_level == 2 else 6
+            pm.append(SabreLayout(coupling, trials=trials, seed=seed))
     pm.append(SabreSwap(coupling, initial_layout=initial_layout, seed=seed))
     pm.append(BasisTranslation(basis))
     if optimization_level == 1:
         pm.append(SelfInverseCancellation())
     elif optimization_level >= 2:
-        pm.append(CommutativeCancellation())
+        rounds = 1 if optimization_level == 2 else 2
+        for _ in range(rounds):
+            pm.append(CommutativeCancellation())
+            pm.append(PhaseGadgetFusion())
+            pm.append(SingleQubitResynthesis(basis))
+    if optimization_level >= 1:
+        pm.append(CliffordBlockAnalysis())
     return pm
 
 

@@ -1,0 +1,192 @@
+"""Correctness tests for the standard benchmark circuit suite.
+
+The generators live in ``benchmarks/circuits`` (outside the package),
+so the benchmarks directory is added to the path the same way the
+bench scripts do it.
+"""
+
+import math
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from circuits import (  # noqa: E402
+    SUITE,
+    adder,
+    fredkin,
+    ghz,
+    grover,
+    qft,
+    toffoli,
+    trotter_echo,
+    wstate,
+)
+
+from repro.backends import Target, select_method  # noqa: E402
+from repro.backends.engine import execute_circuit  # noqa: E402
+from repro.circuits import QuantumCircuit  # noqa: E402
+from repro.noise import NoiseModel, ReadoutError  # noqa: E402
+from repro.simulators import (  # noqa: E402
+    circuit_to_unitary,
+    simulate_statevector,
+)
+from repro.transpiler import CliffordBlockAnalysis, CouplingMap, transpile  # noqa: E402
+
+
+def _counts(circuit, shots=200, seed=11):
+    width = max(circuit.num_qubits, 2)
+    target = Target(width, CouplingMap.full(width))
+    return dict(
+        execute_circuit(
+            circuit, target, shots=shots, seed=seed,
+            with_readout_error=False,
+        ).counts
+    )
+
+
+class TestStates:
+    def test_ghz_counts_are_two_peaked(self):
+        counts = _counts(ghz(8), shots=400)
+        assert set(counts) == {"0" * 8, "1" * 8}
+        assert sum(counts.values()) == 400
+
+    def test_wstate_amplitudes_uniform_one_hot(self):
+        state = simulate_statevector(wstate(4, measure=False))
+        probs = state.probabilities()
+        one_hot = [1 << k for k in range(4)]
+        for idx, p in enumerate(probs):
+            expected = 0.25 if idx in one_hot else 0.0
+            assert p == pytest.approx(expected, abs=1e-12)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 7])
+    def test_wstate_any_width(self, n):
+        probs = simulate_statevector(wstate(n, measure=False)).probabilities()
+        for k in range(n):
+            assert probs[1 << k] == pytest.approx(1.0 / n, abs=1e-12)
+
+
+class TestArithmetic:
+    def test_toffoli_truth(self):
+        assert _counts(toffoli(), shots=100) == {"111": 100}
+
+    def test_fredkin_truth(self):
+        assert _counts(fredkin(), shots=100) == {"101": 100}
+
+    def test_toffoli_decomposition_matches_ccx_unitary(self):
+        from circuits.arithmetic import append_ccx
+
+        qc = QuantumCircuit(3)
+        append_ccx(qc, 0, 1, 2)
+        ccx = np.eye(8)
+        ccx[[3, 7], [3, 7]] = 0
+        ccx[3, 7] = ccx[7, 3] = 1
+        u = circuit_to_unitary(qc)
+        assert np.allclose(u / u[0, 0], ccx, atol=1e-9)
+
+    @pytest.mark.parametrize(
+        "a,b", [(0, 0), (1, 2), (3, 2), (3, 3), (2, 3)]
+    )
+    def test_cuccaro_adder_sums(self, a, b):
+        counts = _counts(adder(num_bits=2, a_value=a, b_value=b), shots=50)
+        assert len(counts) == 1
+        bits = next(iter(counts))  # clbit 0 is the rightmost character
+        total = a + b
+        carry_out = int(bits[0])
+        b_out = int(bits[-3]) | (int(bits[-5]) << 1)
+        assert (carry_out << 2) | b_out == total
+
+
+class TestAlgorithms:
+    def test_qft_matrix_is_dft(self):
+        n = 3
+        u = circuit_to_unitary(qft(n))
+        dim = 1 << n
+        omega = np.exp(2j * math.pi / dim)
+        dft = np.array(
+            [[omega ** (i * j) for j in range(dim)] for i in range(dim)]
+        ) / math.sqrt(dim)
+        assert np.allclose(u, dft, atol=1e-9)
+
+    @pytest.mark.parametrize("marked", [0, 3, 5, 7])
+    def test_grover_amplifies_marked_state_n3(self, marked):
+        counts = _counts(grover(3, marked=marked), shots=1000, seed=2)
+        label = format(marked, "03b")  # big-endian count keys
+        assert counts.get(label, 0) > 900
+
+    def test_grover_n2_is_deterministic(self):
+        counts = _counts(grover(2, marked=2), shots=100)
+        assert set(counts) == {format(2, "02b")}
+
+
+class TestTrotterEcho:
+    def test_echo_returns_to_ghz(self):
+        counts = _counts(trotter_echo(6, steps=2), shots=300)
+        assert set(counts) == {"0" * 6, "1" * 6}
+
+    def test_echo_collapses_to_clifford_under_optimization(self):
+        qc = trotter_echo(6, steps=2)
+        out = transpile(
+            qc, CouplingMap.from_line(6), optimization_level=2, seed=7
+        )
+        tag = out.metadata["clifford_blocks"]
+        assert tag["full"], f"echo did not collapse: {tag}"
+        assert out.size() < qc.size() // 2
+
+    def test_echo_newly_routes_to_stabilizer_under_noise(self):
+        # width past the density-matrix budget, so the original
+        # (non-Clifford as written) needs trajectories while the
+        # optimized (collapsed-to-Clifford) circuit wins on stabilizer
+        n = 20
+        qc = trotter_echo(n, steps=2)
+        target = Target(n, CouplingMap.from_line(n))
+        noise = NoiseModel(n)
+        noise.add_depolarizing_error("cx", 0.02, 2)
+        noise.set_readout_error(ReadoutError.uniform(n, 0.02))
+        before = select_method(qc, target, noise)
+        out = transpile(
+            qc, CouplingMap.from_line(n), optimization_level=2, seed=7
+        )
+        after = select_method(out, target, noise)
+        assert before != "stabilizer"
+        assert after == "stabilizer"
+
+
+class TestSuiteRegistry:
+    def test_registry_shape(self):
+        assert len(SUITE) >= 8
+        for name, factory in SUITE.items():
+            circuit = factory()
+            assert circuit.num_qubits >= 2, name
+            assert circuit.size() > 0, name
+            # factories return fresh objects — no shared mutable state
+            assert factory() is not circuit, name
+
+    def test_names_encode_width(self):
+        for name, factory in SUITE.items():
+            width = int(name.rsplit("_", 1)[1][1:])
+            circuit = factory()
+            expected = (
+                circuit.num_qubits
+                if not name.startswith("qec")
+                else None
+            )
+            if expected is not None:
+                assert width == expected, name
+
+    def test_every_suite_circuit_is_measured(self):
+        for name, factory in SUITE.items():
+            circuit = factory()
+            assert circuit.num_clbits > 0, name
+            assert any(
+                inst.operation.name == "measure"
+                for inst in circuit.instructions
+            ), name
+
+    def test_qec_circuit_is_fully_clifford(self):
+        circuit = SUITE["qec_d5"]()
+        tag = CliffordBlockAnalysis()(circuit).metadata["clifford_blocks"]
+        assert tag["full"]

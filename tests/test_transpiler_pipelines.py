@@ -1,0 +1,213 @@
+"""Randomized equivalence gauntlet for the preset pipelines.
+
+Every preset optimization level (0-3) must preserve circuit semantics:
+exact unitary equivalence (with layout-permutation accounting) at small
+widths, fixed-seed engine counts at widths where building the unitary
+is unaffordable.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.transpiler import (
+    CouplingMap,
+    transpile,
+    transpiled_counts_equivalent,
+    transpiled_distribution_equivalent,
+    transpiled_unitary_equivalent,
+    verify_transpiled,
+)
+
+LEVELS = (0, 1, 2, 3)
+
+
+def _random_circuit(
+    rng: np.random.Generator, num_qubits: int, num_gates: int
+) -> QuantumCircuit:
+    """Gate soup mixing Clifford, rotations, and symmetric 2q gates."""
+    qc = QuantumCircuit(num_qubits)
+    for _ in range(num_gates):
+        kind = int(rng.integers(9))
+        q = int(rng.integers(num_qubits))
+        r = int(rng.integers(num_qubits - 1))
+        r = r if r < q else r + 1  # distinct second qubit
+        angle = float(rng.uniform(-2 * math.pi, 2 * math.pi))
+        if kind == 0:
+            qc.h(q)
+        elif kind == 1:
+            qc.rz(angle, q)
+        elif kind == 2:
+            qc.rx(angle, q)
+        elif kind == 3:
+            qc.t(q)
+        elif kind == 4:
+            qc.cx(q, r)
+        elif kind == 5:
+            qc.cz(q, r)
+        elif kind == 6:
+            qc.rzz(angle, q, r)
+        elif kind == 7:
+            qc.sx(q)
+        else:
+            qc.crz(angle, q, r)
+    return qc
+
+
+class TestUnitaryGauntlet:
+    """Small widths: exact process-level equivalence per level."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_levels_preserve_unitary_3q(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = _random_circuit(rng, 3, 14)
+        coupling = CouplingMap.from_line(3)
+        for level in LEVELS:
+            out = transpile(
+                qc, coupling, optimization_level=level, seed=seed
+            )
+            assert transpiled_unitary_equivalent(qc, out), (
+                f"level {level} broke seed {seed}"
+            )
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_levels_preserve_unitary_5q_ring(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = _random_circuit(rng, 5, 20)
+        coupling = CouplingMap.from_ring(5)
+        for level in LEVELS:
+            out = transpile(
+                qc, coupling, optimization_level=level, seed=seed
+            )
+            assert transpiled_unitary_equivalent(qc, out), (
+                f"level {level} broke seed {seed}"
+            )
+
+
+class TestDistributionGauntlet:
+    """Wider circuits: exact measured-distribution comparison."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_levels_preserve_distribution_12q(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = _random_circuit(rng, 12, 36)
+        qc.measure_all()
+        coupling = CouplingMap.from_line(12)
+        for level in LEVELS:
+            out = transpile(
+                qc, coupling, optimization_level=level, seed=seed
+            )
+            assert transpiled_distribution_equivalent(qc, out), (
+                f"level {level} broke seed {seed}"
+            )
+
+    def test_verify_report_picks_distribution_for_wide_circuits(self):
+        qc = QuantumCircuit(12, 12)
+        qc.h(0)
+        for q in range(11):
+            qc.cx(q, q + 1)
+        qc.measure_all()
+        out = transpile(
+            qc, CouplingMap.from_line(12), optimization_level=2, seed=3
+        )
+        report = verify_transpiled(qc, out)
+        assert report == {
+            "method": "statevector_distribution", "equivalent": True,
+        }
+
+    def test_verify_report_falls_back_to_counts_past_22q(self):
+        qc = QuantumCircuit(22, 22)
+        qc.h(0)
+        for q in range(21):
+            qc.cx(q, q + 1)
+        qc.measure_all()
+        out = transpile(
+            qc, CouplingMap.from_line(22), optimization_level=2, seed=3
+        )
+        report = verify_transpiled(qc, out, shots=512)
+        assert report == {
+            "method": "fixed_seed_counts", "equivalent": True,
+        }
+
+    def test_verify_report_picks_unitary_for_narrow_circuits(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.rzz(0.4, 1, 2)
+        out = transpile(
+            qc, CouplingMap.from_line(3), optimization_level=3, seed=3
+        )
+        report = verify_transpiled(qc, out)
+        assert report == {"method": "unitary", "equivalent": True}
+
+
+class TestVerificationCatchesBreakage:
+    """The gate must actually close: corrupt circuits are rejected."""
+
+    def test_unitary_check_rejects_dropped_gate(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.t(1)
+        broken = QuantumCircuit(2)
+        broken.h(0)
+        broken.cx(0, 1)
+        assert not transpiled_unitary_equivalent(qc, broken)
+
+    def test_unitary_check_rejects_wrong_global_phase_scaling(self):
+        # process fidelity forgives global phase but nothing else
+        qc = QuantumCircuit(1)
+        qc.rz(0.7, 0)
+        other = QuantumCircuit(1)
+        other.rz(0.7 + 1e-3, 0)
+        assert not transpiled_unitary_equivalent(qc, other)
+
+    def test_distribution_check_rejects_one_gate_perturbation(self):
+        qc = QuantumCircuit(12, 12)
+        qc.h(0)
+        for q in range(11):
+            qc.cx(q, q + 1)
+        qc.rx(0.3, 5)
+        qc.measure_all()
+        other = qc.copy()
+        kept = list(other.instructions)
+        del kept[12]  # drop the rx
+        other.instructions.clear()
+        other.instructions.extend(kept)
+        assert not transpiled_distribution_equivalent(qc, other)
+
+    def test_counts_check_rejects_structural_change(self):
+        qc = QuantumCircuit(12, 12)
+        qc.h(0)
+        for q in range(11):
+            qc.cx(q, q + 1)
+        qc.measure_all()
+        broken = qc.copy()
+        kept = [
+            inst
+            for idx, inst in enumerate(broken.instructions)
+            if idx != 5  # drop one ladder CX
+        ]
+        broken.instructions.clear()
+        broken.instructions.extend(kept)
+        assert not transpiled_counts_equivalent(qc, broken, shots=512, seed=9)
+
+    def test_counts_check_forgives_exact_half_tie_shuffle(self):
+        # GHZ: both outcomes at exactly p = 0.5; the sampler's binomial
+        # branch can shuffle shots between them under fixed seed
+        qc = QuantumCircuit(12, 12)
+        qc.h(0)
+        for q in range(11):
+            qc.cx(q, q + 1)
+        qc.measure_all()
+        out = transpile(
+            qc, CouplingMap.from_line(12), optimization_level=1, seed=5
+        )
+        assert transpiled_counts_equivalent(qc, out, shots=2048, seed=1234)
