@@ -28,7 +28,14 @@ the method as a black box:
   v4) so stale cached counts can never be served across a semantic
   change;
 * ``state_bytes(num_qubits)`` — optional memory model used by
-  :func:`autodetect_method_budgets` to derive RAM-based budgets.
+  :func:`autodetect_method_budgets` to derive RAM-based budgets;
+* ``work_units(qubits, shots, trajectories)`` — optional work-unit
+  model mirroring how the kernel's wall-clock scales with the job
+  shape.  Telemetry calibration fits one seconds-per-unit coefficient
+  against it (:mod:`repro.telemetry.calibration`) and the execution
+  service's cost-aware shard planner prices jobs with it
+  (SERVICE.md "Scheduling"); a plugin that provides one becomes
+  calibratable and cost-plannable like the built-ins.
 
 Budgets are dynamic: the current value is the descriptor default unless
 overridden via :func:`set_method_qubit_budget`.  The execution service
@@ -59,6 +66,7 @@ __all__ = [
     "method_cost",
     "method_descriptor",
     "method_names",
+    "method_work_units",
     "method_qubit_budget",
     "method_qubit_budgets",
     "rank_methods",
@@ -100,6 +108,10 @@ class MethodDescriptor:
     #: optional ``f(num_qubits) -> bytes`` memory model for RAM-derived
     #: budgets (None = not memory-bound, budget stays at the default)
     state_bytes: Callable | None = None
+    #: optional ``f(qubits, shots, trajectories) -> units`` work model
+    #: for calibration fitting and cost-aware shard planning (None =
+    #: the method cannot be priced per-job)
+    work_units: Callable | None = None
 
 
 _REGISTRY: dict[str, MethodDescriptor] = {}
@@ -332,6 +344,24 @@ def method_cost(descriptor: MethodDescriptor, plan, noise_model) -> float:
     override = _cost_overrides.get(descriptor.name)
     fn = override if override is not None else descriptor.cost
     return float(fn(plan, noise_model))
+
+
+def method_work_units(
+    method: str, qubits: int, shots: int, trajectories: int
+) -> float | None:
+    """Work units of one execution under the method's shape model.
+
+    Returns ``None`` for methods without a ``work_units`` model (they
+    cannot be priced per-job: calibration leaves them unfitted and the
+    cost-aware shard planner falls back to count-based splits for
+    batches containing them).
+    """
+    descriptor = method_descriptor(method)
+    if descriptor.work_units is None:
+        return None
+    return float(
+        descriptor.work_units(int(qubits), int(shots), int(trajectories))
+    )
 
 
 def rank_methods(plan, noise_model) -> list[MethodDescriptor]:

@@ -23,6 +23,7 @@ from repro.telemetry.calibration import (
     CostCalibration,
     clear_calibrated_costs,
     fit_cost_calibration,
+    refresh_cost_calibration,
     use_calibrated_costs,
 )
 from repro.telemetry.metrics import (
@@ -77,6 +78,7 @@ __all__ = [
     "observe",
     "record",
     "record_sink",
+    "refresh_cost_calibration",
     "record_span",
     "recording_enabled",
     "render_trace",

@@ -33,12 +33,14 @@ import statistics
 import time
 
 from repro.simulators import registry
-from repro.telemetry.records import iter_records
+from repro.telemetry.records import iter_records, record_sink
 
 __all__ = [
     "CostCalibration",
+    "DEFAULT_CALIBRATION_MAX_AGE",
     "clear_calibrated_costs",
     "fit_cost_calibration",
+    "refresh_cost_calibration",
     "use_calibrated_costs",
 ]
 
@@ -47,20 +49,27 @@ NOMINAL_TRAJECTORIES = 128
 #: nominal shot count stabilizer predictions are normalized to
 NOMINAL_SHOTS = 1024
 
+#: default record-age window for :func:`refresh_cost_calibration` —
+#: old records from a different BLAS build / machine era should not
+#: outvote recent ones on a long-lived sink (seven days)
+DEFAULT_CALIBRATION_MAX_AGE = 7 * 24 * 3600.0
+
 
 def _unit_models() -> dict:
-    """Work-unit models per built-in method.
+    """Work-unit models per registered method, from the registry.
 
     ``f(qubits, shots, trajectories) -> units`` mirrors how each
     kernel's wall-clock actually scales (per-trajectory and per-shot
     where the kernel loops over them), so one coefficient fits records
-    taken at any shot/trajectory count.
+    taken at any shot/trajectory count.  The models live on the
+    :class:`~repro.simulators.registry.MethodDescriptor` (``work_units``
+    field) — a plugin that declares one is calibratable exactly like
+    the built-ins; methods without one stay unfitted.
     """
     return {
-        "statevector": lambda q, s, t: 2.0**q,
-        "density_matrix": lambda q, s, t: 4.0**q,
-        "trajectory": lambda q, s, t: max(1, t) * 2.0**q,
-        "stabilizer": lambda q, s, t: max(1, s) * max(1, q) ** 2,
+        descriptor.name: descriptor.work_units
+        for descriptor in registry.registered_methods()
+        if descriptor.work_units is not None
     }
 
 
@@ -176,6 +185,37 @@ def fit_cost_calibration(records, min_records: int = 5) -> CostCalibration:
         coefficients[method] = statistics.median(values)
         samples[method] = len(values)
     return CostCalibration(coefficients=coefficients, samples=samples)
+
+
+def refresh_cost_calibration(
+    sink=None,
+    max_age: float | None = DEFAULT_CALIBRATION_MAX_AGE,
+    min_records: int = 5,
+) -> CostCalibration | None:
+    """Re-fit a calibration from a record sink, failing soft.
+
+    The self-tuning hook long-lived services call on construction (and
+    expose via ``ExecutionService.stats()``): ``sink`` defaults to the
+    active record sink (:func:`~repro.telemetry.records.record_sink`),
+    ``max_age`` drops ``execute`` records older than that many seconds
+    (``None`` keeps everything), and methods with fewer than
+    ``min_records`` fresh samples stay unfitted.  Returns ``None`` —
+    never raises — when there is no sink, the sink is unreadable, or
+    nothing fitted: calibration is an optimisation, and a missing or
+    corrupt sink must never fail an execution.
+    """
+    try:
+        if sink is None:
+            sink = record_sink()
+        if sink is None:
+            return None
+        min_ts = None if max_age is None else time.time() - float(max_age)
+        calibration = fit_cost_calibration(
+            iter_records(sink, min_ts=min_ts), min_records=min_records
+        )
+    except Exception:
+        return None
+    return calibration if calibration.coefficients else None
 
 
 def _calibrated_cost(coeff: float, model):

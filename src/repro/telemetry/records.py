@@ -157,12 +157,14 @@ def _reset_state() -> None:
     _BUFFER = None
 
 
-def iter_records(path):
+def iter_records(path, min_ts: float | None = None):
     """Yield record dicts from a JSONL sink, skipping torn/corrupt lines.
 
     A crash mid-append can leave a truncated last line; tolerating bad
     lines (rather than raising) mirrors how the result store degrades
-    torn entries to misses.
+    torn entries to misses.  ``min_ts`` drops records whose ``ts``
+    wall-clock stamp is older — the age window calibration auto-refresh
+    uses so stale records from another machine era stop voting.
     """
     try:
         handle = open(path, "r", encoding="utf-8")
@@ -177,8 +179,15 @@ def iter_records(path):
                 payload = json.loads(line)
             except ValueError:
                 continue
-            if isinstance(payload, dict):
-                yield payload
+            if not isinstance(payload, dict):
+                continue
+            if min_ts is not None:
+                try:
+                    if float(payload.get("ts", 0.0)) < min_ts:
+                        continue
+                except (TypeError, ValueError):
+                    continue
+            yield payload
 
 
 def summarize_records(records) -> dict:

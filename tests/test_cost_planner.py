@@ -1,0 +1,401 @@
+"""Cost-aware shard planning: estimator, weighted planner, service wiring.
+
+The contract under test (SERVICE.md "Scheduling"): the cost planner may
+change how jobs group into shards and the order shards dispatch, but
+never which jobs run, how many times, or what they return — byte
+identity between ``shard_planner="cost"``, ``shard_planner="count"`` and
+``jobs=1`` is asserted, not assumed.
+"""
+
+import json
+import pickle
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import FakeGuadalupe
+from repro.circuits import QuantumCircuit
+from repro.exceptions import BackendError
+from repro.service import CircuitJob, ExecutionService, plan_shards
+from repro.service.jobs import job_shape
+from repro.service.scheduler import (
+    estimate_job_seconds,
+    plan_shards_weighted,
+)
+from repro.telemetry import (
+    CostCalibration,
+    refresh_cost_calibration,
+)
+
+SHOTS = 64
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return FakeGuadalupe()
+
+
+def ghz(qubits: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(qubits, name=f"ghz{qubits}")
+    circuit.h(0)
+    for qubit in range(qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    circuit.measure_all()
+    return circuit
+
+
+def mixed_jobs(base_seed: int = 11) -> list[CircuitJob]:
+    """A heterogeneous batch: cheap stabilizer + expensive density jobs."""
+    jobs = []
+    for index in range(6):
+        if index % 2:
+            jobs.append(
+                CircuitJob(
+                    circuit=ghz(3),
+                    shots=SHOTS,
+                    seed=base_seed + index,
+                    method="stabilizer",
+                    with_noise=False,
+                )
+            )
+        else:
+            jobs.append(
+                CircuitJob(
+                    circuit=ghz(3),
+                    shots=SHOTS,
+                    seed=base_seed + index,
+                    method="density_matrix",
+                )
+            )
+    return jobs
+
+
+# ---------------------------------------------------------------------------
+# plan_shards edge cases (count-based planner)
+# ---------------------------------------------------------------------------
+
+class TestPlanShardsEdges:
+    def test_more_workers_than_jobs(self):
+        shards = plan_shards(3, 8)
+        assert [idx for shard in shards for idx in shard] == [0, 1, 2]
+        assert len(shards) == 3  # never more shards than jobs
+
+    def test_single_job(self):
+        assert plan_shards(1, 4) == [[0]]
+        assert plan_shards(1, 1, shards_per_worker=16) == [[0]]
+
+    def test_min_shard_size_caps_oversubscription(self):
+        # 12 jobs / min size 4 allows at most 3 shards even though the
+        # oversubscription target asks for 8
+        shards = plan_shards(12, 2, shards_per_worker=4, min_shard_size=4)
+        assert len(shards) == 3
+        assert all(len(shard) >= 4 for shard in shards)
+
+    def test_worker_floor_beats_min_shard_size(self):
+        # the one-shard-per-worker floor wins over min_shard_size: every
+        # worker gets work even if shards run small
+        shards = plan_shards(10, 8, shards_per_worker=1, min_shard_size=10)
+        assert len(shards) == 8
+        assert [idx for shard in shards for idx in shard] == list(range(10))
+
+
+# ---------------------------------------------------------------------------
+# weighted planner
+# ---------------------------------------------------------------------------
+
+class TestPlanShardsWeighted:
+    def test_flat_weights_match_count_planner(self):
+        assert plan_shards_weighted([2.5] * 10, 3) == plan_shards(10, 3)
+
+    def test_unusable_weights_fall_back(self):
+        for weights in (
+            [float("nan"), 1.0, 1.0, 1.0],
+            [float("inf"), 1.0, 1.0, 1.0],
+            [-1.0, 2.0, 3.0, 4.0],
+            [0.0, 0.0, 0.0, 0.0],
+        ):
+            assert plan_shards_weighted(weights, 2) == plan_shards(4, 2)
+
+    def test_heavy_job_isolated_and_dispatched_first(self):
+        weights = [1.0] * 7 + [100.0]
+        shards = plan_shards_weighted(weights, 2, shards_per_worker=2)
+        # the dominant job ends up alone in the first-dispatched shard
+        assert shards[0] == [7]
+        assert sorted(idx for shard in shards for idx in shard) == list(
+            range(8)
+        )
+
+    def test_lpt_order_heaviest_first(self):
+        weights = [1.0, 1.0, 5.0, 5.0, 20.0, 1.0, 1.0, 1.0]
+        shards = plan_shards_weighted(weights, 2, shards_per_worker=2)
+        totals = [sum(weights[idx] for idx in shard) for shard in shards]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_empty_and_validation(self):
+        assert plan_shards_weighted([], 2) == []
+        with pytest.raises(BackendError):
+            plan_shards_weighted([1.0], 0)
+        with pytest.raises(BackendError):
+            plan_shards_weighted([1.0], 1, min_shard_size=0)
+
+    def test_min_shard_size_respected_when_feasible(self):
+        weights = [1.0, 1.0, 1.0, 10.0, 1.0, 1.0, 1.0, 1.0]
+        shards = plan_shards_weighted(
+            weights, 2, shards_per_worker=2, min_shard_size=2
+        )
+        assert sorted(idx for shard in shards for idx in shard) == list(
+            range(8)
+        )
+        assert all(len(shard) >= 2 for shard in shards)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(1, 8),
+        st.integers(1, 6),
+        st.integers(1, 8),
+    )
+    def test_property_exact_contiguous_cover(
+        self, weights, workers, shards_per_worker, min_shard_size
+    ):
+        """Every index appears exactly once and every shard is one
+        contiguous ascending run — whatever the weights look like."""
+        shards = plan_shards_weighted(
+            weights,
+            workers,
+            shards_per_worker=shards_per_worker,
+            min_shard_size=min_shard_size,
+        )
+        flat = sorted(idx for shard in shards for idx in shard)
+        assert flat == list(range(len(weights)))
+        for shard in shards:
+            assert shard == list(range(shard[0], shard[-1] + 1))
+        assert len(shards) <= len(weights)
+
+
+# ---------------------------------------------------------------------------
+# per-job cost estimation
+# ---------------------------------------------------------------------------
+
+class TestEstimateJobSeconds:
+    def job(self, **overrides) -> CircuitJob:
+        spec = dict(circuit=ghz(3), shots=SHOTS, seed=1)
+        spec.update(overrides)
+        return CircuitJob(**spec)
+
+    def test_shape_resolution(self):
+        job = self.job()
+        assert job_shape(job, "density_matrix") == (
+            "density_matrix",
+            3,
+            SHOTS,
+            0,
+        )
+        method, qubits, shots, trajectories = job_shape(job, "trajectory")
+        assert (method, qubits, shots) == ("trajectory", 3, SHOTS)
+        assert trajectories > 0
+
+    def test_slice_shape_counts_slice_width(self):
+        job = self.job(
+            method="trajectory",
+            trajectories=64,
+            trajectory_slice=(16, 48),
+        )
+        assert job_shape(job, "trajectory")[3] == 32
+
+    def test_uncalibrated_ranks_like_shipped_costs(self):
+        job = self.job()
+        dm = estimate_job_seconds(job, "density_matrix")
+        sv = estimate_job_seconds(job, "statevector")
+        stab = estimate_job_seconds(job, "stabilizer")
+        assert dm == pytest.approx(4.0**3)
+        assert sv == pytest.approx(2.0**3)
+        # the shipped stabilizer constant prices per-shot Clifford work
+        # high at tiny qubit counts, exactly like registry "auto" costs
+        assert stab == pytest.approx(SHOTS * 9 * 128.0)
+
+    def test_calibration_scales_to_seconds(self):
+        calibration = CostCalibration(
+            coefficients={"density_matrix": 0.5}, samples={}
+        )
+        job = self.job()
+        assert estimate_job_seconds(
+            job, "density_matrix", calibration
+        ) == pytest.approx(0.5 * 4.0**3)
+        # unfitted method under the same calibration: shipped weight
+        assert estimate_job_seconds(
+            job, "statevector", calibration
+        ) == pytest.approx(2.0**3)
+
+    def test_unknown_method_is_unpriceable(self):
+        assert estimate_job_seconds(self.job(), "no-such-method") is None
+
+
+# ---------------------------------------------------------------------------
+# calibration auto-refresh
+# ---------------------------------------------------------------------------
+
+class TestCalibrationRefresh:
+    def write_records(self, path, count=6, ts=None, wall=0.5):
+        ts = time.time() if ts is None else ts
+        with open(path, "w", encoding="utf-8") as handle:
+            for index in range(count):
+                handle.write(
+                    json.dumps(
+                        {
+                            "kind": "execute",
+                            "ts": ts,
+                            "method": "density_matrix",
+                            "qubits": 3,
+                            "shots": SHOTS,
+                            "trajectories": 0,
+                            "wall_seconds": wall,
+                        }
+                    )
+                    + "\n"
+                )
+
+    def test_refresh_fits_fresh_records(self, tmp_path):
+        sink = tmp_path / "records.jsonl"
+        self.write_records(sink)
+        calibration = refresh_cost_calibration(sink)
+        assert calibration is not None
+        assert calibration.coefficients["density_matrix"] == pytest.approx(
+            0.5 / 4.0**3
+        )
+
+    def test_refresh_age_window_drops_stale_records(self, tmp_path):
+        sink = tmp_path / "records.jsonl"
+        self.write_records(sink, ts=time.time() - 3600.0)
+        assert refresh_cost_calibration(sink, max_age=60.0) is None
+        stale_ok = refresh_cost_calibration(sink, max_age=None)
+        assert stale_ok is not None
+
+    def test_refresh_fails_soft(self, tmp_path):
+        assert refresh_cost_calibration(tmp_path / "missing.jsonl") is None
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text("not json at all\n{torn")
+        assert refresh_cost_calibration(corrupt) is None
+
+    def test_refresh_honors_min_records(self, tmp_path):
+        sink = tmp_path / "records.jsonl"
+        self.write_records(sink, count=3)
+        assert refresh_cost_calibration(sink, min_records=5) is None
+        assert refresh_cost_calibration(sink, min_records=3) is not None
+
+
+# ---------------------------------------------------------------------------
+# service wiring
+# ---------------------------------------------------------------------------
+
+class TestServicePlannerWiring:
+    def test_knob_validation(self, backend):
+        with pytest.raises(BackendError):
+            ExecutionService(backend, shard_planner="fastest")
+
+    def test_stats_expose_planner_and_calibration(self, backend):
+        service = ExecutionService(backend)
+        stats = service.stats()
+        assert stats["shard_planner"] == "cost"
+        assert stats["calibration"] is None
+        service.shutdown()
+
+    def test_inline_meta_reports_inline_planner(self, backend):
+        service = ExecutionService(backend, jobs=1)
+        _, meta = service.run_jobs(mixed_jobs())
+        assert meta["scheduler"]["planner"] == "inline"
+        service.shutdown()
+
+    @pytest.mark.slow
+    def test_cost_and_count_plans_are_byte_identical(self, backend):
+        jobs = mixed_jobs()
+        with ExecutionService(backend, jobs=2) as cost_service:
+            cost_results, cost_meta = cost_service.run_jobs(jobs)
+        with ExecutionService(
+            backend, jobs=2, shard_planner="count"
+        ) as count_service:
+            count_results, count_meta = count_service.run_jobs(jobs)
+        with ExecutionService(backend, jobs=1) as inline_service:
+            inline_results, _ = inline_service.run_jobs(jobs)
+        assert cost_meta["scheduler"]["planner"] == "cost"
+        assert count_meta["scheduler"]["planner"] == "count"
+        assert "predicted_shard_seconds" in cost_meta["scheduler"]
+        assert cost_meta["scheduler"]["shard_imbalance"] >= 1.0
+        for cost_exp, count_exp, inline_exp in zip(
+            cost_results, count_results, inline_results
+        ):
+            assert (
+                pickle.dumps(cost_exp)
+                == pickle.dumps(count_exp)
+                == pickle.dumps(inline_exp)
+            )
+
+    @pytest.mark.slow
+    def test_calibration_used_only_when_it_covers_all_methods(
+        self, backend
+    ):
+        jobs = mixed_jobs()
+        with ExecutionService(backend, jobs=2) as service:
+            # covers only one of the two methods in the batch: weights
+            # would mix seconds with unitless work, so it must be ignored
+            service.calibration = CostCalibration(
+                coefficients={"density_matrix": 1e-6}, samples={}
+            )
+            _, partial_meta = service.run_jobs(mixed_jobs(base_seed=50))
+            service.calibration = CostCalibration(
+                coefficients={
+                    "density_matrix": 1e-6,
+                    "stabilizer": 1e-8,
+                },
+                samples={},
+            )
+            _, full_meta = service.run_jobs(mixed_jobs(base_seed=90))
+        assert partial_meta["scheduler"]["calibrated"] is False
+        assert full_meta["scheduler"]["calibrated"] is True
+
+    @pytest.mark.slow
+    def test_queue_wait_metric_recorded(self, backend):
+        with ExecutionService(backend, jobs=2) as service:
+            service.run_jobs(mixed_jobs())
+            metrics = service.stats()["metrics"]
+        histograms = metrics["histograms"]
+        assert any(
+            "service.queue_wait_seconds" in str(key)
+            for key in histograms
+        )
+        assert not any(
+            "shard_queue_wait" in str(key) for key in histograms
+        )
+
+    @pytest.mark.slow
+    def test_trajectory_fanout_honors_shards_per_worker(self, backend):
+        """Regression: fan-out once hardcoded shards_per_worker=2."""
+        trajectories = 24
+        job = CircuitJob(
+            circuit=ghz(3),
+            shots=SHOTS,
+            seed=7,
+            method="trajectory",
+            trajectories=trajectories,
+        )
+        for spw in (2, 3):
+            with ExecutionService(
+                backend, jobs=2, shards_per_worker=spw
+            ) as service:
+                _, meta = service.run_jobs([job])
+            expected = len(plan_shards(trajectories, 2, shards_per_worker=spw))
+            assert meta["trajectory_subjobs"] == expected
+        assert len(plan_shards(trajectories, 2, shards_per_worker=2)) != len(
+            plan_shards(trajectories, 2, shards_per_worker=3)
+        )
